@@ -1,0 +1,151 @@
+(* Benchmark harness: regenerates every evaluation artifact of the paper
+   (Figs. 2, 4, 7a-7f, 8a, 8b - see DESIGN.md par. 3) and micro-benchmarks
+   the control-plane preparation functions with Bechamel.
+
+   Run with: dune exec bench/main.exe            (full: 30 runs/figure)
+             dune exec bench/main.exe -- quick   (smoke: 5 runs/figure) *)
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let runs = if quick then 5 else Harness.Scenarios.runs
+let fig8_iterations = if quick then 100 else 1000
+
+let figures_dir = "figures"
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the Fig. 8 preparation kernels            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_prepare_tests () =
+  let open Bechamel in
+  let make_pair topo =
+    let sim = Dessim.Sim.create ~seed:5 () in
+    let net = Netsim.create sim topo in
+    let graph = topo.Topo.Topologies.graph in
+    let rng = Random.State.make [| 42 |] in
+    let updates = ref [] in
+    while List.length !updates < 20 do
+      let n = Topo.Graph.node_count graph in
+      let src = Random.State.int rng n and dst = Random.State.int rng n in
+      if src <> dst then
+        match Topo.Graph.k_shortest_paths graph ~src ~dst ~k:2 with
+        | [ old_path; new_path ] -> updates := (old_path, new_path) :: !updates
+        | _ -> ()
+    done;
+    let updates = !updates in
+    let requests =
+      List.map
+        (fun (old_path, new_path) ->
+          let src = List.hd old_path and dst = List.nth old_path (List.length old_path - 1) in
+          {
+            Baselines.Ez_segway.ur_flow =
+              Topo.Traffic.flow_id_of_pair ~src ~dst land (P4update.Wire.flow_space - 1);
+            ur_size = 100;
+            ur_old_path = old_path;
+            ur_new_path = new_path;
+          })
+        updates
+    in
+    let name = topo.Topo.Topologies.name in
+    [
+      Test.make
+        ~name:(Printf.sprintf "fig8a/p4update-prepare/%s" name)
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (old_path, new_path) ->
+                 let labels = P4update.Label.of_path net new_path in
+                 let seg = P4update.Segment.compute ~old_path ~new_path in
+                 ignore (P4update.Segment.annotate seg labels))
+               updates));
+      Test.make
+        ~name:(Printf.sprintf "fig8a/ez-segway-prepare/%s" name)
+        (Staged.stage (fun () ->
+             List.iter
+               (fun r -> ignore (Baselines.Ez_segway.prepare net ~congestion:false [ r ]))
+               requests));
+      Test.make
+        ~name:(Printf.sprintf "fig8b/ez-segway-prepare-congestion/%s" name)
+        (Staged.stage (fun () ->
+             ignore (Baselines.Ez_segway.prepare net ~congestion:true requests)));
+    ]
+  in
+  List.concat_map make_pair [ Topo.Topologies.b4 (); Topo.Topologies.chinanet () ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Bechamel micro-benchmarks (Fig. 8 preparation kernels, 20 updates per run)";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) () in
+  let tests = bechamel_prepare_tests () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      List.iter
+        (fun instance ->
+          let analyzed =
+            Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+              instance results
+          in
+          Hashtbl.iter
+            (fun name result ->
+              match Bechamel.Analyze.OLS.estimates result with
+              | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run\n" name est
+              | _ -> Printf.printf "  %-48s (no estimate)\n" name)
+            analyzed)
+        instances)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Figure harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "P4Update evaluation harness (%s mode, %d runs per figure)\n"
+    (if quick then "quick" else "full")
+    runs;
+
+  section "Fig. 2 - risk inconsistencies, update quickly? (par. 4.1)";
+  let fig2 = Harness.Experiments.fig2 () in
+  print_string (Harness.Experiments.render_fig2 fig2);
+  Harness.Svg.render_fig2 ~dir:figures_dir fig2;
+
+  section "Fig. 4 - maintain consistency, delay updates? (par. 4.2)";
+  let fig4 = Harness.Experiments.fig4 () in
+  print_string (Harness.Experiments.render_fig4 fig4);
+  Harness.Svg.render_fig4 ~dir:figures_dir fig4;
+
+  section "Fig. 7 - total update time (par. 9.2)";
+  List.iter
+    (fun scenario ->
+      let result = Harness.Experiments.fig7 ~runs scenario in
+      print_string (Harness.Experiments.render_fig7 result);
+      Harness.Svg.render_fig7 ~dir:figures_dir result;
+      print_newline ())
+    (Harness.Experiments.fig7_scenarios ());
+
+  section "Fig. 8a - control plane preparation time, no congestion (par. 9.3)";
+  let fig8a = Harness.Experiments.fig8 ~iterations:fig8_iterations ~congestion:false () in
+  print_string (Harness.Experiments.render_fig8 ~congestion:false fig8a);
+  Harness.Svg.render_fig8 ~dir:figures_dir ~congestion:false fig8a;
+
+  section "Fig. 8b - control plane preparation time with congestion freedom (par. 9.3)";
+  let fig8b = Harness.Experiments.fig8 ~iterations:(fig8_iterations / 10) ~congestion:true () in
+  print_string (Harness.Experiments.render_fig8 ~congestion:true fig8b);
+  Harness.Svg.render_fig8 ~dir:figures_dir ~congestion:true fig8b;
+  Printf.printf "\n(SVG versions of every figure written to %s/)\n" figures_dir;
+
+  section "Ablation - SL vs DL on the single-flow scenarios (par. 7.5 policy)";
+  print_string (Harness.Ablation.render_sl_vs_dl ~runs ());
+
+  section "Ablation - resubmission delay sweep (par. 8 BMv2 modification)";
+  print_string (Harness.Ablation.render_resubmit_sweep ~runs:(max 3 (runs / 3)) ());
+
+  section "Ablation - congestion scheduler: dynamic priorities vs FIFO (par. 7.4)";
+  print_string (Harness.Ablation.render_scheduler_ablation ~runs:(max 3 (runs / 3)) ());
+
+  run_bechamel ();
+  print_newline ()

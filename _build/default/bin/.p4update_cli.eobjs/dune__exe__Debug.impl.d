@@ -1,0 +1,1 @@
+bin/debug.ml: Array Controller Dessim Format Harness List Netsim P4update Printf Switch Topo Uib Wire

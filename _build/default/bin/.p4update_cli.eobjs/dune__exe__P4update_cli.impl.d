@@ -1,0 +1,1 @@
+bin/p4update_cli.ml: Arg Array Cmd Cmdliner Filename Format Harness List Netsim Printf String Term Topo

@@ -1,0 +1,1 @@
+bin/p4update_cli.mli:

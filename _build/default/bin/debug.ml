@@ -1,0 +1,40 @@
+open P4update
+let () =
+  let topo = Topo.Topologies.fig1 () in
+  let world = Harness.World.make ~seed:21 topo in
+  Array.iter Switch.enable_consecutive_dl world.switches;
+  Controller.set_allow_consecutive_dl world.controller true;
+  let flow = Harness.World.install_flow world ~src:0 ~dst:7 ~size:100
+      ~path:Topo.Topologies.fig1_old_path in
+  let configs = [ Topo.Topologies.fig1_new_path; Topo.Topologies.fig1_old_path;
+                  Topo.Topologies.fig1_new_path ] in
+  List.iteri (fun i new_path ->
+      Dessim.Sim.schedule world.sim ~delay:(float_of_int i *. 5.0) (fun () ->
+          ignore (Controller.update_flow world.controller ~flow_id:flow.flow_id ~new_path ())))
+    configs;
+  Array.iter (fun sw -> Switch.on_commit sw (fun ~flow_id:_ ~version ~time ->
+      let uib = Switch.uib sw in
+      Printf.printf "t=%7.2f commit v%d ver=%d -> %s (label=%d)\n" time (Switch.node sw) version
+        (match Netsim.neighbor_of_port world.net ~node:(Switch.node sw)
+                 ~port:(Uib.egress_port uib flow.flow_id) with
+         | Some nb -> string_of_int nb | None -> "local")
+        (Uib.dist_prev uib flow.flow_id))) world.switches;
+  let stop = ref false in
+  while (not !stop) && Dessim.Sim.step world.sim do
+    match Harness.Fwdcheck.trace world.net world.switches ~flow_id:flow.flow_id ~src:0 with
+    | Harness.Fwdcheck.Reaches_egress _ -> ()
+    | o ->
+      Format.printf "VIOLATION at t=%.2f: %a@." (Dessim.Sim.now world.sim)
+        Harness.Fwdcheck.pp_outcome o;
+      for n = 0 to 7 do
+        let uib = Switch.uib world.switches.(n) in
+        Printf.printf "  v%d: ver=%d rule->%s label=%d lastT=%d\n" n
+          (Uib.ver_cur uib flow.flow_id)
+          (match Netsim.neighbor_of_port world.net ~node:n
+                   ~port:(Uib.egress_port uib flow.flow_id) with
+           | Some nb -> string_of_int nb
+           | None -> if Uib.egress_port uib flow.flow_id = Wire.port_local then "local" else "none")
+          (Uib.dist_prev uib flow.flow_id) (Uib.last_type uib flow.flow_id)
+      done;
+      stop := true
+  done

@@ -1,0 +1,227 @@
+(* Command-line front end: inspect topologies, run individual update
+   scenarios, and regenerate the paper's figures one at a time.
+
+   Examples:
+     p4update topo --name b4
+     p4update single --topo internet2 --system all --runs 10
+     p4update multi --topo fat-tree --system p4update
+     p4update fig --id 7c
+*)
+
+open Cmdliner
+
+let topologies =
+  [
+    ("fig1", Topo.Topologies.fig1);
+    ("fig2", Topo.Topologies.fig2);
+    ("six-node", Topo.Topologies.six_node);
+    ("b4", Topo.Topologies.b4);
+    ("internet2", Topo.Topologies.internet2);
+    ("attmpls", Topo.Topologies.attmpls);
+    ("chinanet", Topo.Topologies.chinanet);
+    ("fat-tree", fun () -> Topo.Topologies.fat_tree ());
+  ]
+
+let topo_conv =
+  let parse s =
+    match List.assoc_opt s topologies with
+    | Some f -> Ok (s, f)
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown topology %S (try: %s)" s
+                     (String.concat ", " (List.map fst topologies))))
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+
+let topo_arg =
+  Arg.(value & opt topo_conv ("b4", Topo.Topologies.b4)
+       & info [ "topo"; "t" ] ~docv:"NAME" ~doc:"Topology to use.")
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs"; "r" ] ~docv:"N" ~doc:"Number of seeded runs.")
+
+let system_conv =
+  let parse = function
+    | "p4update" -> Ok (Some Harness.Scenarios.P4u)
+    | "ez-segway" | "ez" -> Ok (Some Harness.Scenarios.Ez)
+    | "central" -> Ok (Some Harness.Scenarios.Central)
+    | "all" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown system %S (p4update | ez | central | all)" s))
+  in
+  let print fmt = function
+    | Some s -> Format.pp_print_string fmt (Harness.Scenarios.system_name s)
+    | None -> Format.pp_print_string fmt "all"
+  in
+  Arg.conv (parse, print)
+
+let system_arg =
+  Arg.(value & opt system_conv None
+       & info [ "system"; "s" ] ~docv:"SYS" ~doc:"System to run (default: all three).")
+
+let systems_of = function
+  | Some s -> [ s ]
+  | None -> Harness.Scenarios.all_systems
+
+(* --- topo --- *)
+
+let topo_cmd =
+  let run (name, build) =
+    let topo = build () in
+    let g = topo.Topo.Topologies.graph in
+    Printf.printf "%s: %d nodes, %d edges, controller at %s (node %d)\n" name
+      (Topo.Graph.node_count g) (Topo.Graph.edge_count g)
+      topo.Topo.Topologies.node_names.(topo.Topo.Topologies.controller)
+      topo.Topo.Topologies.controller;
+    List.iter
+      (fun e ->
+        Printf.printf "  %-20s -- %-20s %7.2f ms  cap %.1f\n"
+          topo.Topo.Topologies.node_names.(e.Topo.Graph.u)
+          topo.Topo.Topologies.node_names.(e.Topo.Graph.v)
+          e.Topo.Graph.latency_ms e.Topo.Graph.capacity)
+      (Topo.Graph.edges g)
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Print a topology.") Term.(const run $ topo_arg)
+
+(* --- single --- *)
+
+let single_cmd =
+  let run (name, build) system runs =
+    let topo = build () in
+    let old_path, new_path =
+      if name = "fig1" then (Topo.Topologies.fig1_old_path, Topo.Topologies.fig1_new_path)
+      else Harness.Scenarios.single_flow_paths topo
+    in
+    Printf.printf "single-flow update on %s: [%s] -> [%s]\n" name
+      (String.concat ";" (List.map string_of_int old_path))
+      (String.concat ";" (List.map string_of_int new_path));
+    let setup =
+      { Harness.Scenarios.topo = build; stragglers = true; congestion = false;
+        headroom = 1.4; control = None }
+    in
+    List.iter
+      (fun sys ->
+        let samples =
+          List.filter_map
+            (fun seed ->
+              match
+                Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed
+              with
+              | t -> Some t
+              | exception Failure _ -> None)
+            (List.init runs (fun i -> 1000 + i))
+        in
+        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
+      (systems_of system)
+  in
+  Cmd.v (Cmd.info "single" ~doc:"Run the single-flow (straggler) scenario.")
+    Term.(const run $ topo_arg $ system_arg $ runs_arg)
+
+(* --- multi --- *)
+
+let multi_cmd =
+  let run (name, build) system runs =
+    let control =
+      if name = "fat-tree" then Some (Netsim.Normal_dist { mean = 5.0; stddev = 2.0 })
+      else None
+    in
+    let setup =
+      { Harness.Scenarios.topo = build; stragglers = false; congestion = true;
+        headroom = 1.4; control }
+    in
+    Printf.printf "multi-flow update on %s (congested, near capacity)\n" name;
+    List.iter
+      (fun sys ->
+        let samples =
+          List.filter_map
+            (fun seed ->
+              match Harness.Scenarios.multi_flow_time setup sys ~seed with
+              | t -> Some t
+              | exception Failure _ -> None)
+            (List.init runs (fun i -> 1000 + i))
+        in
+        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
+      (systems_of system)
+  in
+  Cmd.v (Cmd.info "multi" ~doc:"Run the multi-flow (congestion) scenario.")
+    Term.(const run $ topo_arg $ system_arg $ runs_arg)
+
+(* --- fig --- *)
+
+let fig_cmd =
+  let id_arg =
+    Arg.(required & opt (some string) None
+         & info [ "id" ] ~docv:"ID" ~doc:"Figure id: 2, 4, 7a..7f, 8a, 8b.")
+  in
+  let run id runs =
+    match id with
+    | "2" -> print_string (Harness.Experiments.render_fig2 (Harness.Experiments.fig2 ()))
+    | "4" -> print_string (Harness.Experiments.render_fig4 (Harness.Experiments.fig4 ()))
+    | "8a" ->
+      print_string
+        (Harness.Experiments.render_fig8 ~congestion:false
+           (Harness.Experiments.fig8 ~congestion:false ()))
+    | "8b" ->
+      print_string
+        (Harness.Experiments.render_fig8 ~congestion:true
+           (Harness.Experiments.fig8 ~iterations:100 ~congestion:true ()))
+    | id ->
+      (match
+         List.find_opt
+           (fun sc -> sc.Harness.Experiments.f7_id = id)
+           (Harness.Experiments.fig7_scenarios ())
+       with
+       | Some sc ->
+         print_string (Harness.Experiments.render_fig7 (Harness.Experiments.fig7 ~runs sc))
+       | None -> Printf.eprintf "unknown figure id %S\n" id; exit 1)
+  in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one evaluation figure.")
+    Term.(const run $ id_arg $ runs_arg)
+
+(* --- import --- *)
+
+let import_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Topology Zoo GraphML file.")
+  in
+  let run file runs =
+    let name = Filename.remove_extension (Filename.basename file) in
+    let topo = Topo.Graphml.to_topology ~name (Topo.Graphml.parse_file file) in
+    let g = topo.Topo.Topologies.graph in
+    Printf.printf "%s: %d nodes, %d edges (imported)
+" name (Topo.Graph.node_count g)
+      (Topo.Graph.edge_count g);
+    let old_path, new_path = Harness.Scenarios.single_flow_paths topo in
+    Printf.printf "single-flow scenario: [%s] -> [%s]
+"
+      (String.concat ";" (List.map string_of_int old_path))
+      (String.concat ";" (List.map string_of_int new_path));
+    let setup =
+      { Harness.Scenarios.topo = (fun () -> topo); stragglers = true; congestion = false;
+        headroom = 1.4; control = None }
+    in
+    List.iter
+      (fun sys ->
+        let samples =
+          List.filter_map
+            (fun seed ->
+              match
+                Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed
+              with
+              | t -> Some t
+              | exception Failure _ -> None)
+            (List.init runs (fun i -> 1000 + i))
+        in
+        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
+      Harness.Scenarios.all_systems
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Import a Topology Zoo GraphML file and run the single-flow scenario on it.")
+    Term.(const run $ file_arg $ runs_arg)
+
+let () =
+  let doc = "P4Update (CoNEXT '21) reproduction toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "p4update" ~doc)
+          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; import_cmd ]))

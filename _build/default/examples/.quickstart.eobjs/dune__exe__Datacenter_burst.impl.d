@@ -1,0 +1,1 @@
+examples/datacenter_burst.ml: Array Controller Harness List Netsim P4update Printf Random Switch Topo

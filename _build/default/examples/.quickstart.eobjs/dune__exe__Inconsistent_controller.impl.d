@@ -1,0 +1,1 @@
+examples/inconsistent_controller.ml: Harness List Printf

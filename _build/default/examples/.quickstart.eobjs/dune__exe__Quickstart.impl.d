@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Controller Format Harness List P4update Printf String Switch Topo

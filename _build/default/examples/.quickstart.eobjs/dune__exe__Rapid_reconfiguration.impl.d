@@ -1,0 +1,1 @@
+examples/rapid_reconfiguration.ml: Array Controller Dessim Format Harness List P4update Printf String Switch Topo Wire

@@ -1,0 +1,1 @@
+examples/rapid_reconfiguration.mli:

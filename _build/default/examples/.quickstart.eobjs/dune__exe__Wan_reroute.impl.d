@@ -1,0 +1,1 @@
+examples/wan_reroute.ml: Array Controller Dessim Harness List Netsim P4update Printf String Switch Topo Wire

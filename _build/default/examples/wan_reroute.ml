@@ -1,0 +1,65 @@
+(* WAN reroute: the maintenance scenario that motivates consistent
+   updates.  On Google's B4 topology, an operator drains a long-haul
+   segment by moving a transatlantic flow to an alternative path while
+   traffic keeps flowing — and while every switch install is slowed by a
+   random Exp(100 ms) straggler delay, as in the paper's single-flow
+   evaluation (§9.1).
+
+   The example runs the same reroute under SL-P4Update and DL-P4Update
+   and reports both completion times plus the packet-level evidence that
+   no packet was lost or looped in either case.
+
+   Run with: dune exec examples/wan_reroute.exe *)
+
+open P4update
+
+let run update_type =
+  let topo = Topo.Topologies.b4 () in
+  let old_path, new_path = Harness.Scenarios.single_flow_paths topo in
+  let config = { Netsim.default_config with rule_update_mean_ms = Some 100.0 } in
+  let world = Harness.World.make ~seed:11 ~config topo in
+  let src = List.hd old_path and dst = List.nth old_path (List.length old_path - 1) in
+  let flow = Harness.World.install_flow world ~src ~dst ~size:100 ~path:old_path in
+
+  (* Continuous traffic during the reroute: 1 packet every 4 ms. *)
+  let sent = ref 0 in
+  let rec generator () =
+    if Dessim.Sim.now world.sim < 1_500.0 then begin
+      Switch.inject_data world.switches.(src)
+        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = 64; origin = src; dst; tag = 0 };
+      incr sent;
+      Dessim.Sim.schedule world.sim ~delay:4.0 generator
+    end
+  in
+  generator ();
+
+  let version =
+    Controller.update_flow world.controller ~flow_id:flow.flow_id ~new_path ~update_type ()
+  in
+  let _ = Harness.World.run world in
+  let completion =
+    match Controller.completion_time world.controller ~flow_id:flow.flow_id ~version with
+    | Some t -> t
+    | None -> nan
+  in
+  let delivered = (Switch.stats world.switches.(dst)).Switch.delivered in
+  let looped =
+    Array.fold_left (fun acc sw -> acc + (Switch.stats sw).Switch.dropped_ttl) 0 world.switches
+  in
+  (old_path, new_path, completion, !sent, delivered, looped)
+
+let () =
+  let name_of = function Wire.Sl -> "SL-P4Update" | Wire.Dl -> "DL-P4Update" in
+  Printf.printf "B4 maintenance reroute under Exp(100 ms) straggler installs\n\n";
+  List.iter
+    (fun ut ->
+      let old_path, new_path, completion, sent, delivered, looped = run ut in
+      Printf.printf "%s:\n" (name_of ut);
+      Printf.printf "  old path  [%s]\n"
+        (String.concat " -> " (List.map string_of_int old_path));
+      Printf.printf "  new path  [%s]\n"
+        (String.concat " -> " (List.map string_of_int new_path));
+      Printf.printf "  update completed in %.1f ms\n" completion;
+      Printf.printf "  traffic: %d sent, %d delivered, %d TTL-dropped (loops)\n\n" sent
+        delivered looped)
+    [ Wire.Sl; Wire.Dl ]

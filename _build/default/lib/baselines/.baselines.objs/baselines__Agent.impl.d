@@ -1,0 +1,1 @@
+lib/baselines/agent.ml: Dessim Hashtbl List Netsim Option P4update Topo

@@ -1,0 +1,1 @@
+lib/baselines/agent.mli: Netsim P4update

@@ -1,0 +1,1 @@
+lib/baselines/central.ml: Agent Array Dessim Hashtbl Lazy List Netsim Option P4update Topo

@@ -1,0 +1,1 @@
+lib/baselines/ez_segway.ml: Agent Array Dessim Float Hashtbl Lazy List Netsim Option P4update Topo

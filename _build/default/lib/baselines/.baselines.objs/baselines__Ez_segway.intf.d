@@ -1,0 +1,1 @@
+lib/baselines/ez_segway.mli: Agent Hashtbl Netsim

@@ -1,0 +1,171 @@
+module Sim = Dessim.Sim
+
+type stats = {
+  mutable delivered : int;
+  mutable forwarded : int;
+  mutable dropped_no_rule : int;
+  mutable dropped_ttl : int;
+  mutable commits : int;
+}
+
+(* ez-Segway and Central run their coordination logic in a local agent on
+   the switch CPU (slow path), not in the forwarding pipeline; every
+   control message pays this processing overhead (cf. §10: P4Update keeps
+   verification in the data plane). *)
+let control_processing_ms = 1.5
+
+type t = {
+  net : Netsim.t;
+  node : int;
+  table : (int, int) Hashtbl.t; (* flow id -> port *)
+  flow_sizes : (int, int) Hashtbl.t;
+  port_reserved : (int, int) Hashtbl.t;
+  versions : (int, int) Hashtbl.t; (* flow id -> newest command version seen *)
+  cleaned : (int, unit) Hashtbl.t; (* flows whose reservation a cleanup already freed *)
+  stats : stats;
+  mutable commit_hooks : (flow_id:int -> time:float -> unit) list;
+}
+
+let node t = t.node
+let net t = t.net
+let stats t = t.stats
+let on_commit t f = t.commit_hooks <- t.commit_hooks @ [ f ]
+
+let port_of t ~flow_id =
+  Option.value (Hashtbl.find_opt t.table flow_id) ~default:P4update.Wire.port_none
+
+let reserved t ~port = Option.value (Hashtbl.find_opt t.port_reserved port) ~default:0
+
+let capacity t ~port =
+  match Netsim.neighbor_of_port t.net ~node:t.node ~port with
+  | None -> max_int
+  | Some neighbor ->
+    int_of_float (Topo.Graph.capacity (Netsim.graph t.net) t.node neighbor *. 100.0)
+
+let remaining t ~port = capacity t ~port - reserved t ~port
+
+let is_real_port port = port <> P4update.Wire.port_none && port <> P4update.Wire.port_local
+
+let adjust_reservation t ~port ~delta =
+  if is_real_port port then
+    Hashtbl.replace t.port_reserved port (max 0 (reserved t ~port + delta))
+
+let reserve_initial t ~flow_id ~port ~size =
+  Hashtbl.replace t.flow_sizes flow_id size;
+  adjust_reservation t ~port ~delta:size
+
+let set_rule t ~flow_id ~port = Hashtbl.replace t.table flow_id port
+
+let note_version t ~flow_id ~version =
+  if version > Option.value (Hashtbl.find_opt t.versions flow_id) ~default:0 then
+    Hashtbl.replace t.versions flow_id version
+
+let last_version t ~flow_id = Option.value (Hashtbl.find_opt t.versions flow_id) ~default:0
+
+let cleanup_msg t ~flow_id ~version =
+  {
+    (P4update.Wire.control_default P4update.Wire.Cln) with
+    flow_id;
+    version_new = version;
+    src_node = t.node;
+  }
+
+let install t ~flow_id ~port ~size ~k =
+  (* Re-writing an identical rule skips the platform's install delay. *)
+  let unchanged =
+    port_of t ~flow_id = port
+    && Option.value (Hashtbl.find_opt t.flow_sizes flow_id) ~default:0 = size
+  in
+  let delay = if unchanged then 0.0 else Netsim.rule_update_delay t.net ~node:t.node in
+  Sim.schedule (Netsim.sim t.net) ~delay (fun () ->
+      let old_port = port_of t ~flow_id in
+      let old_size =
+        if Hashtbl.mem t.cleaned flow_id then 0
+        else Option.value (Hashtbl.find_opt t.flow_sizes flow_id) ~default:0
+      in
+      Hashtbl.remove t.cleaned flow_id;
+      adjust_reservation t ~port ~delta:size;
+      adjust_reservation t ~port:old_port ~delta:(-old_size);
+      Hashtbl.replace t.flow_sizes flow_id size;
+      Hashtbl.replace t.table flow_id port;
+      t.stats.commits <- t.stats.commits + 1;
+      (* Rule cleanup (§11) down the abandoned old link. *)
+      if is_real_port old_port && old_port <> port then
+        Netsim.transmit t.net ~from:t.node ~port:old_port
+          (P4update.Wire.control_to_bytes
+             (cleanup_msg t ~flow_id ~version:(last_version t ~flow_id)));
+      let time = Sim.now (Netsim.sim t.net) in
+      List.iter (fun f -> f ~flow_id ~time) t.commit_hooks;
+      k ())
+
+let handle_cleanup t ~flow_id ~version =
+  (* Release the reservation once; the stale rule stays (other stale
+     parents may still route through this node). *)
+  if last_version t ~flow_id < version && not (Hashtbl.mem t.cleaned flow_id) then begin
+    let port = port_of t ~flow_id in
+    if is_real_port port then begin
+      let size = Option.value (Hashtbl.find_opt t.flow_sizes flow_id) ~default:0 in
+      adjust_reservation t ~port ~delta:(-size);
+      Hashtbl.add t.cleaned flow_id ();
+      Netsim.transmit t.net ~from:t.node ~port
+        (P4update.Wire.control_to_bytes (cleanup_msg t ~flow_id ~version))
+    end
+  end
+
+let send t ~port msg =
+  if port <> P4update.Wire.port_none then
+    Netsim.transmit t.net ~from:t.node ~port (P4update.Wire.control_to_bytes msg)
+
+let send_to_controller t msg =
+  Netsim.notify_controller t.net ~from:t.node (P4update.Wire.control_to_bytes msg)
+
+let handle_data t (d : P4update.Wire.data) =
+  let port = port_of t ~flow_id:d.d_flow_id in
+  if port = P4update.Wire.port_none then t.stats.dropped_no_rule <- t.stats.dropped_no_rule + 1
+  else if port = P4update.Wire.port_local then t.stats.delivered <- t.stats.delivered + 1
+  else if d.ttl <= 1 then t.stats.dropped_ttl <- t.stats.dropped_ttl + 1
+  else begin
+    t.stats.forwarded <- t.stats.forwarded + 1;
+    Netsim.transmit t.net ~from:t.node ~port
+      (P4update.Wire.data_to_bytes { d with ttl = d.ttl - 1 })
+  end
+
+let create network ~node ~on_message =
+  let t =
+    {
+      net = network;
+      node;
+      table = Hashtbl.create 32;
+      flow_sizes = Hashtbl.create 32;
+      port_reserved = Hashtbl.create 8;
+      versions = Hashtbl.create 32;
+      cleaned = Hashtbl.create 32;
+      stats =
+        { delivered = 0; forwarded = 0; dropped_no_rule = 0; dropped_ttl = 0; commits = 0 };
+      commit_hooks = [];
+    }
+  in
+  let dispatch ~from_port bytes =
+    match P4update.Wire.packet_of_bytes bytes with
+    | None -> ()
+    | Some pkt ->
+      (match P4update.Wire.control_of_packet pkt with
+       | Some c ->
+         let c =
+           { c with P4update.Wire.flow_id = c.P4update.Wire.flow_id land (P4update.Wire.flow_space - 1) }
+         in
+         (* Control messages take the slow path through the local agent. *)
+         Sim.schedule (Netsim.sim network) ~delay:control_processing_ms (fun () ->
+             on_message t ~from_port c)
+       | None ->
+         (match P4update.Wire.data_of_packet pkt with
+          | Some d -> handle_data t d
+          | None -> ()))
+  in
+  Netsim.attach network ~node (fun event ->
+      match event with
+      | Netsim.Data { port; bytes } -> dispatch ~from_port:port bytes
+      | Netsim.From_controller bytes -> dispatch ~from_port:(-1) bytes);
+  t
+
+let inject_data t d = handle_data t d

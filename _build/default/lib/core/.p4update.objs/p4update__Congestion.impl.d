@@ -1,0 +1,1 @@
+lib/core/congestion.ml: Uib Wire

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Dessim Hashtbl Label List Netsim Option Printf Segment Topo Wire

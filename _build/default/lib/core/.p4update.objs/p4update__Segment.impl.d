@@ -1,0 +1,1 @@
+lib/core/segment.ml: Format Label List String Wire

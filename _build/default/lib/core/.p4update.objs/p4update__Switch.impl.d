@@ -1,0 +1,1 @@
+lib/core/switch.ml: Bytes Congestion Dessim Hashtbl List Netsim Option P4rt Printf Topo Uib Verify Wire

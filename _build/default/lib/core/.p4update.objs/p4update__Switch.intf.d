@@ -1,0 +1,1 @@
+lib/core/switch.mli: Netsim P4rt Uib Wire

@@ -1,0 +1,1 @@
+lib/core/uib.ml: P4rt Wire

@@ -1,0 +1,1 @@
+lib/core/uib.mli: P4rt Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Format P4rt

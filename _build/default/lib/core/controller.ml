@@ -1,0 +1,253 @@
+module Sim = Dessim.Sim
+
+type flow = {
+  flow_id : int;
+  src : int;
+  dst : int;
+  size : int;
+  mutable version : int;
+  mutable path : int list;
+  mutable last_type : Wire.update_type;
+}
+
+type prepared = {
+  p_flow : int;
+  p_version : int;
+  p_type : Wire.update_type;
+  p_uims : (int * Wire.control) list;
+  p_segments : Segment.t option;
+}
+
+type report = {
+  r_flow : int;
+  r_version : int;
+  r_status : int;
+  r_node : int;
+  r_time : float;
+}
+
+type t = {
+  net : Netsim.t;
+  flow_db : (int, flow) Hashtbl.t;
+  mutable report_log : report list; (* reverse order *)
+  mutable report_hooks : (report -> unit) list;
+  mutable alarms : int;
+  mutable auto_route : bool;
+  mutable auto_retrigger : bool;
+  mutable allow_consecutive_dl : bool;
+  last_pushed : (int, prepared) Hashtbl.t; (* flow id -> last pushed update *)
+  retriggers : (int * int, int) Hashtbl.t; (* flow id, version -> count *)
+  retrigger_times : (int * int, float) Hashtbl.t;
+}
+
+let sl_threshold = 5
+let default_flow_size = 100
+let retrigger_budget = 3
+
+let net t = t.net
+
+let register_flow ?(version = 1) t ~src ~dst ~size ~path =
+  let flow_id = Topo.Traffic.flow_id_of_pair ~src ~dst land (Wire.flow_space - 1) in
+  let flow = { flow_id; src; dst; size; version; path; last_type = Wire.Sl } in
+  Hashtbl.replace t.flow_db flow_id flow;
+  flow
+
+let set_auto_route t enabled = t.auto_route <- enabled
+let set_auto_retrigger t enabled = t.auto_retrigger <- enabled
+let set_allow_consecutive_dl t enabled = t.allow_consecutive_dl <- enabled
+
+let find_flow t ~flow_id = Hashtbl.find_opt t.flow_db flow_id
+let flows t = Hashtbl.fold (fun _ f acc -> f :: acc) t.flow_db []
+
+(* §7.5: SL for updates that install new rules on at most [sl_threshold]
+   nodes, all of them within forward segments; DL otherwise.  A flow whose
+   previous update was dual-layer must take SL next (Thm. 4). *)
+let choose_type t ~old_path ~new_path ~last_type =
+  if last_type = Wire.Dl && not t.allow_consecutive_dl then Wire.Sl
+  else
+    let seg = Segment.compute ~old_path ~new_path in
+    let all_forward =
+      List.for_all (fun s -> s.Segment.direction = Segment.Forward) seg.Segment.segments
+    in
+    let fresh_nodes =
+      (* Nodes that get new forwarding rules: everything except nodes that
+         keep the same successor in both paths. *)
+      let next_of path =
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        pairs path
+      in
+      let old_next = next_of old_path in
+      List.filter
+        (fun (node, succ) ->
+          match List.assoc_opt node old_next with
+          | Some old_succ -> old_succ <> succ
+          | None -> true)
+        (next_of new_path)
+    in
+    if all_forward && List.length fresh_nodes <= sl_threshold then Wire.Sl else Wire.Dl
+
+let bump_version t ~flow_id =
+  match find_flow t ~flow_id with
+  | Some flow -> flow.version <- flow.version + 1
+  | None -> ()
+
+let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?(two_phase = false) () =
+  let flow =
+    match find_flow t ~flow_id with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Controller.prepare: unknown flow %d" flow_id)
+  in
+  let old_path = Option.value assume_old_path ~default:flow.path in
+  let p_type =
+    match update_type with
+    | Some ut -> ut
+    | None -> choose_type t ~old_path ~new_path ~last_type:flow.last_type
+  in
+  let labels = Label.of_path t.net new_path in
+  let labels, segments =
+    match p_type with
+    | Wire.Sl -> (labels, None)
+    | Wire.Dl ->
+      let seg = Segment.compute ~old_path ~new_path in
+      (Segment.annotate seg labels, Some seg)
+  in
+  let version = flow.version + 1 in
+  let uims =
+    List.map
+      (fun (l : Label.node_label) ->
+        ( l.node,
+          {
+            (Wire.control_default Wire.Uim) with
+            flow_id;
+            version_new = version;
+            dist_new = l.dist_new;
+            update_type = p_type;
+            flow_size = flow.size;
+            egress_port = l.egress_port;
+            notify_port = l.notify_port;
+            role = (l.role lor if two_phase then Wire.role_two_phase else 0);
+            src_node = Netsim.topology t.net |> fun topo -> topo.Topo.Topologies.controller;
+          } ))
+      labels
+  in
+  { p_flow = flow_id; p_version = version; p_type; p_uims = uims; p_segments = segments }
+
+let push t prepared =
+  (match find_flow t ~flow_id:prepared.p_flow with
+   | Some flow ->
+     flow.version <- prepared.p_version;
+     flow.path <- List.map fst prepared.p_uims;
+     flow.last_type <- prepared.p_type
+   | None -> ());
+  (* Egress first: the chain of notifications starts at the egress, so its
+     indication should leave the (serialized) controller first. *)
+  Hashtbl.replace t.last_pushed prepared.p_flow prepared;
+  List.iter
+    (fun (node, uim) ->
+      Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
+    (List.rev prepared.p_uims)
+
+let update_flow t ~flow_id ~new_path ?update_type ?two_phase () =
+  let prepared = prepare t ~flow_id ~new_path ?update_type ?two_phase () in
+  push t prepared;
+  prepared.p_version
+
+let reports t = List.rev t.report_log
+
+let completion_time t ~flow_id ~version =
+  let rec find = function
+    | [] -> None
+    | r :: rest ->
+      if r.r_flow = flow_id && r.r_version = version && r.r_status = Wire.ufm_success
+      then Some r.r_time
+      else find rest
+  in
+  (* Log is newest-first; the first success seen backwards is the earliest:
+     search from the oldest instead. *)
+  find (List.rev t.report_log)
+
+let on_report t f = t.report_hooks <- t.report_hooks @ [ f ]
+let alarm_count t = t.alarms
+
+(* A new flow reported by the data plane (§6): compute a shortest path and
+   deploy it egress-first with SL, so rules exist downstream before any
+   node starts forwarding. *)
+let route_new_flow t (c : Wire.control) =
+  let src = c.src_node and dst = c.dist_new in
+  let graph = Netsim.graph t.net in
+  if src <> dst && dst < Topo.Graph.node_count graph then
+    match Topo.Graph.shortest_path graph ~src ~dst with
+    | None -> ()
+    | Some path ->
+      let flow = register_flow ~version:0 t ~src ~dst ~size:default_flow_size ~path in
+      if flow.flow_id = c.flow_id then
+        ignore (update_flow t ~flow_id:flow.flow_id ~new_path:path ~update_type:Wire.Sl ())
+      else
+        (* hash mismatch: the FRM did not come from this (src, dst) pair *)
+        Hashtbl.remove t.flow_db flow.flow_id
+
+(* §11 failure handling: re-push the indications of a timed-out update so
+   the egress regenerates the notification chain. *)
+let retrigger t (c : Wire.control) =
+  match Hashtbl.find_opt t.last_pushed c.flow_id with
+  | Some prepared when prepared.p_version = c.version_new ->
+    let key = (c.flow_id, c.version_new) in
+    let count = Option.value (Hashtbl.find_opt t.retriggers key) ~default:0 in
+    let now = Sim.now (Netsim.sim t.net) in
+    let recently =
+      match Hashtbl.find_opt t.retrigger_times key with
+      | Some last -> now -. last < 100.0 (* one re-push per alarm wave *)
+      | None -> false
+    in
+    if count < retrigger_budget && not recently then begin
+      Hashtbl.replace t.retriggers key (count + 1);
+      Hashtbl.replace t.retrigger_times key now;
+      List.iter
+        (fun (node, uim) ->
+          Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
+        (List.rev prepared.p_uims)
+    end
+  | Some _ | None -> ()
+
+let install_handler t =
+  Netsim.set_controller t.net (fun ~from bytes ->
+      match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+      | Some c when c.kind = Wire.Ufm ->
+        let report =
+          {
+            r_flow = c.flow_id;
+            r_version = c.version_new;
+            r_status = c.layer;
+            r_node = from;
+            r_time = Sim.now (Netsim.sim t.net);
+          }
+        in
+        if report.r_status <> Wire.ufm_success then t.alarms <- t.alarms + 1;
+        t.report_log <- report :: t.report_log;
+        List.iter (fun f -> f report) t.report_hooks;
+        if t.auto_retrigger && report.r_status = Wire.ufm_alarm_timeout then retrigger t c
+      | Some c when c.kind = Wire.Frm ->
+        if t.auto_route && find_flow t ~flow_id:c.flow_id = None then route_new_flow t c
+      | Some _ | None -> ())
+
+let create network =
+  let t =
+    {
+      net = network;
+      flow_db = Hashtbl.create 64;
+      report_log = [];
+      report_hooks = [];
+      alarms = 0;
+      auto_route = true;
+      auto_retrigger = false;
+      allow_consecutive_dl = false;
+      last_pushed = Hashtbl.create 32;
+      retriggers = Hashtbl.create 32;
+      retrigger_times = Hashtbl.create 32;
+    }
+  in
+  install_handler t;
+  t

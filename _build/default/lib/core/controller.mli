@@ -1,0 +1,143 @@
+(** The P4Update control plane (§6, §8).
+
+    Keeps the Network Information Base and the Flow DB, computes the
+    per-node update and verification content (distance labels, DL
+    segmentation), pushes UIMs to the data plane, and records UFMs.
+
+    The preparation step ({!prepare}) is deliberately exposed as a pure
+    function of the paths: Fig. 8 benchmarks exactly this computation
+    against ez-Segway's. *)
+
+type t
+
+type flow = {
+  flow_id : int;
+  src : int;
+  dst : int;
+  size : int;             (** centi-units *)
+  mutable version : int;
+  mutable path : int list;
+  mutable last_type : Wire.update_type;
+}
+
+(** A fully prepared update: one UIM per node of the new path. *)
+type prepared = {
+  p_flow : int;
+  p_version : int;
+  p_type : Wire.update_type;
+  p_uims : (int * Wire.control) list;  (** destination node, message *)
+  p_segments : Segment.t option;       (** present for DL updates *)
+}
+
+(** An UFM as recorded by the controller. *)
+type report = {
+  r_flow : int;
+  r_version : int;
+  r_status : int;   (** {!Wire.ufm_success} or an alarm code *)
+  r_node : int;
+  r_time : float;
+}
+
+val create : Netsim.t -> t
+
+val net : t -> Netsim.t
+
+(** {2 Flow DB} *)
+
+(** [register_flow t ~src ~dst ~size ~path] adds a flow (version 1 by
+    default, assumed already installed in the data plane, e.g. via
+    {!Switch.install_initial}).  Returns the flow record.  The flow id is
+    {!Topo.Traffic.flow_id_of_pair} masked into {!Wire.flow_space}. *)
+val register_flow :
+  ?version:int -> t -> src:int -> dst:int -> size:int -> path:int list -> flow
+
+(** Default size assigned to flows the data plane reports via FRM. *)
+val default_flow_size : int
+
+(** When enabled (default), an FRM for an unknown flow makes the
+    controller compute a shortest path and deploy it with a (blackhole-
+    free, egress-first) SL update — the new-flow setup loop of §6. *)
+val set_auto_route : t -> bool -> unit
+
+(** When enabled, a timeout alarm ({!Wire.ufm_alarm_timeout}) makes the
+    controller re-push the corresponding update's indications, up to
+    [retrigger_budget] times per flow and version (§11 failure
+    handling).  Disabled by default. *)
+val set_auto_retrigger : t -> bool -> unit
+
+val retrigger_budget : int
+
+(** Appendix C: when enabled the §7.5 policy no longer forces SL after a
+    DL update (the switches must have {!Switch.enable_consecutive_dl}). *)
+val set_allow_consecutive_dl : t -> bool -> unit
+
+val find_flow : t -> flow_id:int -> flow option
+val flows : t -> flow list
+
+(** {2 Preparation (the Fig. 8 benchmark surface)} *)
+
+(** [choose_type t ~old_path ~new_path ~last_type] applies the §7.5
+    policy: single-layer when the update only installs rules on few
+    (≤ {!sl_threshold}) nodes, all inside forward segments; dual-layer
+    otherwise.  A flow whose last update was dual-layer must use SL
+    (Thm. 4). *)
+val choose_type :
+  t -> old_path:int list -> new_path:int list -> last_type:Wire.update_type ->
+  Wire.update_type
+
+val sl_threshold : int
+
+(** [prepare t ~flow_id ~new_path ?update_type ?assume_old_path ()]
+    computes the UIMs for the next version of the flow without sending
+    anything.  The update type defaults to the §7.5 policy choice.
+    [assume_old_path] overrides the controller's view of the current path
+    (used to reproduce the inconsistent-view scenarios of §4/§9). *)
+val prepare :
+  t ->
+  flow_id:int ->
+  new_path:int list ->
+  ?update_type:Wire.update_type ->
+  ?assume_old_path:int list ->
+  ?two_phase:bool ->
+  unit ->
+  prepared
+
+(** [bump_version t ~flow_id] advances the flow's version without pushing
+    anything (so a later prepare yields a yet-higher version). *)
+val bump_version : t -> flow_id:int -> unit
+
+(** {2 Update execution} *)
+
+(** [push t prepared] sends every UIM through the control channel and
+    advances the Flow DB to the new version/path. *)
+val push : t -> prepared -> unit
+
+(** [update_flow t ~flow_id ~new_path ?update_type ()] = prepare + push;
+    returns the pushed version. *)
+val update_flow :
+  t ->
+  flow_id:int ->
+  new_path:int list ->
+  ?update_type:Wire.update_type ->
+  ?two_phase:bool ->
+  unit ->
+  int
+
+(** {2 UFM collection} *)
+
+(** All reports received so far (most recent last). *)
+val reports : t -> report list
+
+(** [completion_time t ~flow_id ~version] is the time of the success UFM
+    for that update, if received. *)
+val completion_time : t -> flow_id:int -> version:int -> float option
+
+(** [on_report t f] registers a hook called on every incoming UFM. *)
+val on_report : t -> (report -> unit) -> unit
+
+(** Number of alarm UFMs received. *)
+val alarm_count : t -> int
+
+(** [install_handler t] wires the controller into the network (listens
+    for FRM/UFM).  Called by {!create}; exposed for tests that re-attach. *)
+val install_handler : t -> unit

@@ -1,0 +1,24 @@
+(** Distance labelling (§3): per-node verification content of an update.
+
+    For the new path [P_n] = v_0 … v_k (ingress to egress), the new
+    distance of v_i is [k - i] hops to the egress.  Labels also carry the
+    ports toward the new parent (forwarding) and toward the new child
+    (where update notifications are sent upstream). *)
+
+type node_label = {
+  node : int;
+  dist_new : int;
+  egress_port : int;   (** port toward the new parent; [Wire.port_local] at the egress *)
+  notify_port : int;   (** port toward the new child; [Wire.port_none] at the ingress *)
+  role : int;          (** {!Wire} role bit flags *)
+}
+
+(** [distances path] maps node → hops-to-egress along [path]. *)
+val distances : int list -> (int * int) list
+
+(** [of_path net path] computes the labels of every node of [path]
+    (without DL roles — {!Segment.annotate} adds those).  Raises
+    [Invalid_argument] on an empty path or non-adjacent hops. *)
+val of_path : Netsim.t -> int list -> node_label list
+
+val find : node_label list -> int -> node_label option

@@ -1,0 +1,690 @@
+module Sim = Dessim.Sim
+module Pipeline = P4rt.Pipeline
+module Packet = P4rt.Packet
+
+let wait_budget = 500
+let cpu_port = 1000 (* pseudo ingress port for controller messages *)
+let host_port = 1001 (* pseudo ingress port for locally injected traffic *)
+
+type stats = {
+  mutable delivered : int;
+  mutable forwarded : int;
+  mutable dropped_no_rule : int;
+  mutable dropped_ttl : int;
+  mutable commits : int;
+  mutable alarms : int;
+  mutable waits : int;
+  mutable congestion_defers : int;
+}
+
+(* A forwarding-rule commit staged behind the platform's rule-update
+   delay.  [label]/[label_counter] may still improve while the commit is
+   pending (a better proposal is absorbed rather than re-scheduled). *)
+type pending_commit = {
+  pc_version : int;
+  pc_dist_new : int;
+  pc_egress : int;
+  pc_notify : int;
+  pc_size : int;
+  pc_utype : int;
+  pc_ver_prev : int;
+  pc_two_phase : bool; (* install into the tagged bank only (§11) *)
+  mutable pc_chain : bool;
+      (* triggering notification was chain-connected to the egress *)
+  mutable pc_label : int; (* old-distance label to commit *)
+  mutable pc_counter : int;
+  mutable pc_cancelled : bool;
+  pc_resubmit_bytes : Bytes.t; (* re-processed if capacity defers the commit *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Deferred actions collected while the pipeline runs                   *)
+(* ------------------------------------------------------------------ *)
+
+type action =
+  | Schedule_commit of int * pending_commit
+  | Send_upstream of Wire.control * int (* message, port *)
+  | Send_ufm of Wire.control
+  | Resubmit_bytes of Bytes.t
+
+type t = {
+  net : Netsim.t;
+  node : int;
+  uib : Uib.t;
+  mutable pipe : Pipeline.t;
+  stats : stats;
+  mutable commit_hooks : (flow_id:int -> version:int -> time:float -> unit) list;
+  pending : (int, pending_commit) Hashtbl.t; (* flow id -> staged commit *)
+  wait_counts : (int, int) Hashtbl.t; (* flow id -> resubmissions so far *)
+  cong_counts : (int, int) Hashtbl.t; (* flow id -> congestion defers so far *)
+  frm_sent : (int, unit) Hashtbl.t;
+  waiting_on : (int, int) Hashtbl.t; (* flow id -> contended port *)
+  mutable queue : action list; (* deferred actions of the running pipeline *)
+  mutable watchdog_ms : float option; (* §11 failure handling, opt-in *)
+  mutable consecutive_dl : bool; (* Appendix C extension, opt-in *)
+}
+
+let congestion_budget = 10_000
+
+let push_action t a = t.queue <- t.queue @ [ a ]
+
+let node t = t.node
+let stats t = t.stats
+let enable_watchdog t ~timeout_ms = t.watchdog_ms <- Some timeout_ms
+let enable_consecutive_dl t = t.consecutive_dl <- true
+let uib t = t.uib
+let pipeline t = t.pipe
+let on_commit t f = t.commit_hooks <- t.commit_hooks @ [ f ]
+
+(* ------------------------------------------------------------------ *)
+(* Message construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let unm_of_committed t ~flow_id ~layer ~utype =
+  let u = t.uib in
+  {
+    (Wire.control_default Wire.Unm) with
+    flow_id;
+    version_new = Uib.ver_cur u flow_id;
+    version_old = Uib.ver_prev u flow_id;
+    dist_new = Uib.dist_cur u flow_id;
+    dist_old = Uib.dist_prev u flow_id;
+    update_type =
+      (match Wire.update_type_of_int utype with Some ut -> ut | None -> Wire.Sl);
+    layer;
+    counter = Uib.counter u flow_id;
+    flow_size = Uib.flow_size u flow_id;
+    (* The committed flag vouches that this node's whole forwarding chain
+       is committed at this version — true only when its own commit was
+       triggered by a chain-connected notification (rooted at the
+       egress). *)
+    role = (if Uib.chain_ok u flow_id = 1 then Wire.role_committed else 0);
+    src_node = t.node;
+  }
+
+let ufm ~flow_id ~version ~status ~src =
+  {
+    (Wire.control_default Wire.Ufm) with
+    flow_id;
+    version_new = version;
+    layer = status;
+    src_node = src;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Commit machinery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec send_upstream t msg ~port =
+  if port = Wire.port_none then ()
+  else Netsim.transmit t.net ~from:t.node ~port (Wire.control_to_bytes msg)
+
+and fire_commit t flow_id (pc : pending_commit) =
+  let u = t.uib in
+  if pc.pc_cancelled || Uib.ver_cur u flow_id >= pc.pc_version then
+    Hashtbl.remove t.pending flow_id
+  else begin
+    (* Congestion check happens at commit time so reservations are never
+       based on stale capacity (§7.4). *)
+    let high = Congestion.is_promoted u ~flow_id in
+    let other_high_waiters =
+      Hashtbl.fold
+        (fun g port acc ->
+          if g <> flow_id && port = pc.pc_egress && Congestion.is_promoted u ~flow_id:g
+          then acc + 1
+          else acc)
+        t.waiting_on 0
+    in
+    match
+      Congestion.check u ~flow_id ~new_port:pc.pc_egress ~size:pc.pc_size
+        ~high_priority:high ~other_high_waiters
+    with
+    | Congestion.Defer_capacity | Congestion.Defer_priority ->
+      t.stats.congestion_defers <- t.stats.congestion_defers + 1;
+      Uib.set_flow_priority u flow_id (if high then 1 else 0);
+      if not (Hashtbl.mem t.waiting_on flow_id) then begin
+        Hashtbl.add t.waiting_on flow_id pc.pc_egress;
+        Congestion.note_contention u ~port:pc.pc_egress
+      end;
+      Hashtbl.remove t.pending flow_id;
+      let defers = Option.value (Hashtbl.find_opt t.cong_counts flow_id) ~default:0 in
+      Hashtbl.replace t.cong_counts flow_id (defers + 1);
+      if defers < congestion_budget then
+        Netsim.resubmit t.net ~node:t.node pc.pc_resubmit_bytes
+      else begin
+        (* Infeasible move: give up rather than loop forever; report, and
+           stop poisoning the waiting queue for other flows. *)
+        (match Hashtbl.find_opt t.waiting_on flow_id with
+         | Some port ->
+           Congestion.clear_contention u ~port;
+           Hashtbl.remove t.waiting_on flow_id
+         | None -> ());
+        t.stats.alarms <- t.stats.alarms + 1;
+        Netsim.notify_controller t.net ~from:t.node
+          (Wire.control_to_bytes
+             (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_alarm_wait_budget
+                ~src:t.node))
+      end
+    | Congestion.Proceed ->
+      (match Hashtbl.find_opt t.waiting_on flow_id with
+       | Some port ->
+         Congestion.clear_contention u ~port;
+         Hashtbl.remove t.waiting_on flow_id
+       | None -> ());
+      let old_port = Uib.egress_port u flow_id in
+      (* A cleanup may already have released the old reservation. *)
+      let old_size = if Uib.cleaned u flow_id = 1 then 0 else Uib.flow_size u flow_id in
+      Uib.set_cleaned u flow_id 0;
+      Congestion.apply_move u ~old_port ~new_port:pc.pc_egress ~old_size
+        ~new_size:pc.pc_size;
+      Uib.set_ver_prev u flow_id pc.pc_ver_prev;
+      Uib.set_dist_prev u flow_id pc.pc_label;
+      Uib.set_ver_cur u flow_id pc.pc_version;
+      Uib.set_dist_cur u flow_id pc.pc_dist_new;
+      if pc.pc_two_phase then begin
+        (* Phase 1 of the 2-phase commit: the rule lands in the tagged
+           bank; untagged traffic keeps using the old rule until the
+           ingress flips to the new tag. *)
+        Uib.set_tagged_port u flow_id pc.pc_egress;
+        Uib.set_tagged_version u flow_id pc.pc_version
+      end
+      else Uib.set_egress_port u flow_id pc.pc_egress;
+      Uib.set_notify_port u flow_id pc.pc_notify;
+      Uib.set_flow_size u flow_id pc.pc_size;
+      Uib.set_counter u flow_id pc.pc_counter;
+      Uib.set_last_type u flow_id pc.pc_utype;
+      Uib.set_chain_ok u flow_id (if pc.pc_chain then 1 else 0);
+      Uib.set_flow_priority u flow_id 0;
+      Hashtbl.remove t.pending flow_id;
+      Hashtbl.remove t.cong_counts flow_id;
+      t.stats.commits <- t.stats.commits + 1;
+      (* Rule cleanup (§11): tell the abandoned old parent that no further
+         packets will arrive, so it can free its rule and reservation. *)
+      if
+        old_port <> Wire.port_none && old_port <> Wire.port_local
+        && old_port <> pc.pc_egress
+      then
+        send_upstream t
+          {
+            (Wire.control_default Wire.Cln) with
+            flow_id;
+            version_new = pc.pc_version;
+            flow_size = old_size;
+            src_node = t.node;
+          }
+          ~port:old_port;
+      let time = Sim.now (Netsim.sim t.net) in
+      List.iter (fun f -> f ~flow_id ~version:pc.pc_version ~time) t.commit_hooks;
+      notify_after_commit t flow_id pc
+  end
+
+and notify_after_commit t flow_id pc =
+  let u = t.uib in
+  if pc.pc_notify <> Wire.port_none then
+    let layer = if Uib.dist_cur u flow_id = 0 then 1 else 2 in
+    send_upstream t (unm_of_committed t ~flow_id ~layer ~utype:pc.pc_utype) ~port:pc.pc_notify
+  else begin
+    (* Phase 2 of the 2-phase commit: the whole tagged path is in place;
+       the ingress starts stamping the new tag. *)
+    if pc.pc_two_phase then Uib.set_stamp_tag u flow_id pc.pc_version;
+    (* Flow ingress: report completion.  SL completes here; DL completes
+       once the egress' 0 label has travelled the whole path. *)
+    let is_dl = pc.pc_utype = Wire.update_type_to_int Wire.Dl in
+    if (not is_dl) || Uib.dist_prev u flow_id = 0 then
+      if Uib.ufm_sent u flow_id < pc.pc_version then begin
+        Uib.set_ufm_sent u flow_id pc.pc_version;
+        Netsim.notify_controller t.net ~from:t.node
+          (Wire.control_to_bytes
+             (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_success ~src:t.node))
+      end
+  end
+
+let schedule_commit t flow_id pc =
+  let supersedes =
+    match Hashtbl.find_opt t.pending flow_id with
+    | Some old when old.pc_version < pc.pc_version ->
+      old.pc_cancelled <- true;
+      true
+    | Some old -> old.pc_cancelled (* keep a live commit of the same/higher version *)
+    | None -> true
+  in
+  if supersedes then begin
+    Hashtbl.replace t.pending flow_id pc;
+    (* Re-committing an identical forwarding rule does not touch the
+       forwarding table, so it skips the platform's rule-install delay;
+       only actual rule changes pay it. *)
+    let unchanged =
+      Uib.egress_port t.uib flow_id = pc.pc_egress
+      && Uib.flow_size t.uib flow_id = pc.pc_size
+    in
+    let delay = if unchanged then 0.0 else Netsim.rule_update_delay t.net ~node:t.node in
+    Sim.schedule (Netsim.sim t.net) ~delay (fun () -> fire_commit t flow_id pc)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline control blocks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let alarm t ctx ~flow_id ~version ~status =
+  t.stats.alarms <- t.stats.alarms + 1;
+  Pipeline.set_packet ctx
+    (Wire.control_to_packet (ufm ~flow_id ~version ~status ~src:t.node));
+  Pipeline.digest ctx;
+  Pipeline.mark_to_drop ctx
+
+let handle_data t ctx (d : Wire.data) =
+  let u = t.uib in
+  (* The ingress stamps packets with the active tag (2-phase commit). *)
+  let d =
+    if Pipeline.ingress_port ctx = host_port && d.tag = 0 then
+      { d with tag = Uib.stamp_tag u d.d_flow_id }
+    else d
+  in
+  (* Tagged packets use the tagged rule bank when it matches. *)
+  let port =
+    if d.tag <> 0 && d.tag = Uib.tagged_version u d.d_flow_id then
+      Uib.tagged_port u d.d_flow_id
+    else Uib.egress_port u d.d_flow_id
+  in
+  if port = Wire.port_none then begin
+    (* Unknown flow: the ingress reports it once to the controller (FRM),
+       any other switch just counts the blackhole. *)
+    if Pipeline.ingress_port ctx = host_port && not (Hashtbl.mem t.frm_sent d.d_flow_id)
+    then begin
+      Hashtbl.add t.frm_sent d.d_flow_id ();
+      Pipeline.set_packet ctx
+        (Wire.control_to_packet
+           {
+             (Wire.control_default Wire.Frm) with
+             flow_id = d.d_flow_id;
+             (* the clone of the first packet carries the destination *)
+             dist_new = d.dst;
+             src_node = t.node;
+           });
+      Pipeline.digest ctx
+    end
+    else t.stats.dropped_no_rule <- t.stats.dropped_no_rule + 1;
+    Pipeline.mark_to_drop ctx
+  end
+  else if port = Wire.port_local then begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    Pipeline.mark_to_drop ctx
+  end
+  else if d.ttl <= 1 then begin
+    t.stats.dropped_ttl <- t.stats.dropped_ttl + 1;
+    Pipeline.mark_to_drop ctx
+  end
+  else begin
+    t.stats.forwarded <- t.stats.forwarded + 1;
+    let pkt =
+      Packet.update (Pipeline.packet ctx) "data" (fun h ->
+          let h = P4rt.Header.set h "ttl" (d.ttl - 1) in
+          P4rt.Header.set h "tag" d.tag)
+    in
+    Pipeline.set_packet ctx pkt;
+    Pipeline.set_egress ctx port
+  end
+
+let handle_uim t ctx (c : Wire.control) =
+  let u = t.uib in
+  let flow_id = c.flow_id in
+  let accepted = Uib.stage_uim u flow_id c in
+  Pipeline.mark_to_drop ctx;
+  (* §11 failure handling: a re-pushed indication for the already-staged
+     version makes an already-committed egress (or DL segment egress)
+     regenerate its notification, restarting a chain lost to packet
+     drops.  Idempotent: downstream duplicates are ignored by Alg. 1/2. *)
+  if (not accepted) && c.version_new = Uib.uim_version u flow_id then begin
+    (match t.watchdog_ms with
+     | Some timeout_ms when Uib.ver_cur u flow_id < c.version_new ->
+       Sim.schedule (Netsim.sim t.net) ~delay:timeout_ms (fun () ->
+           if Uib.ver_cur t.uib flow_id < c.version_new
+              && Uib.uim_version t.uib flow_id = c.version_new
+           then begin
+             t.stats.alarms <- t.stats.alarms + 1;
+             Netsim.notify_controller t.net ~from:t.node
+               (Wire.control_to_bytes
+                  (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
+                     ~src:t.node))
+           end)
+     | Some _ | None -> ());
+    if
+      Uib.ver_cur u flow_id >= c.version_new
+      && c.notify_port <> Wire.port_none
+      && (c.role land Wire.role_flow_egress <> 0
+          || (c.update_type = Wire.Dl && c.role land Wire.role_segment_egress <> 0))
+    then
+      let layer = if c.role land Wire.role_flow_egress <> 0 then 1 else 2 in
+      push_action t
+        (Send_upstream
+           ( unm_of_committed t ~flow_id ~layer
+               ~utype:(Wire.update_type_to_int c.update_type),
+             c.notify_port ))
+  end;
+  if accepted then begin
+    Hashtbl.remove t.wait_counts flow_id;
+    (* §11 failure handling: a staged indication that never commits means
+       the notification chain was lost somewhere downstream — alarm the
+       controller so it can re-trigger the update. *)
+    (match t.watchdog_ms with
+     | Some timeout_ms ->
+       Sim.schedule (Netsim.sim t.net) ~delay:timeout_ms (fun () ->
+           if Uib.ver_cur t.uib flow_id < c.version_new
+              && Uib.uim_version t.uib flow_id = c.version_new
+           then begin
+             t.stats.alarms <- t.stats.alarms + 1;
+             Netsim.notify_controller t.net ~from:t.node
+               (Wire.control_to_bytes
+                  (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
+                     ~src:t.node))
+           end)
+     | None -> ());
+    let utype = Wire.update_type_to_int c.update_type in
+    if c.role land Wire.role_flow_egress <> 0 then
+      (* The egress applies the new configuration directly (§7.1) and
+         notifies its child once the rule is in place. *)
+      push_action t
+        (Schedule_commit
+           ( flow_id,
+             {
+               pc_version = c.version_new;
+               pc_dist_new = c.dist_new;
+               pc_egress = c.egress_port;
+               pc_notify = c.notify_port;
+               pc_size = c.flow_size;
+               pc_utype = utype;
+               pc_ver_prev = Uib.ver_cur u flow_id;
+               pc_two_phase = c.role land Wire.role_two_phase <> 0;
+               pc_chain = true; (* the egress roots the committed chain *)
+               pc_label = Uib.dist_cur u flow_id;
+               pc_counter = 0;
+               pc_cancelled = false;
+               pc_resubmit_bytes = Wire.control_to_bytes c;
+             } ))
+    else if
+      c.update_type = Wire.Dl
+      && c.role land Wire.role_segment_egress <> 0
+      && c.notify_port <> Wire.port_none
+      (* Local verification: only a node that actually holds a forwarding
+         rule may invite upstream traffic.  The controller may wrongly
+         believe this node is on the old path (inconsistent view, par. 5). *)
+      && Uib.egress_port u flow_id <> Wire.port_none
+    then begin
+      (* A segment-egress gateway immediately proposes its segment id to
+         its segment (second-layer UNM), before updating itself. *)
+      let proposal =
+        {
+          (Wire.control_default Wire.Unm) with
+          flow_id;
+          version_new = c.version_new;
+          version_old = Uib.ver_cur u flow_id;
+          dist_new = c.dist_new;
+          dist_old = Uib.dist_cur u flow_id;
+          update_type = Wire.Dl;
+          layer = 2;
+          counter = Uib.counter u flow_id;
+          flow_size = c.flow_size;
+          src_node = t.node;
+        }
+      in
+      push_action t (Send_upstream (proposal, c.notify_port))
+    end
+  end
+
+let node_view_of u flow_id =
+  {
+    Verify.ver_cur = Uib.ver_cur u flow_id;
+    dist_cur = Uib.dist_cur u flow_id;
+    ver_prev = Uib.ver_prev u flow_id;
+    dist_prev = Uib.dist_prev u flow_id;
+    counter = Uib.counter u flow_id;
+    last_dual = Uib.last_type u flow_id = Wire.update_type_to_int Wire.Dl;
+    uim_version = Uib.uim_version u flow_id;
+    uim_distance = Uib.uim_distance u flow_id;
+  }
+
+let unm_view_of (c : Wire.control) =
+  {
+    Verify.u_ver_new = c.version_new;
+    u_ver_old = c.version_old;
+    u_dist_new = c.dist_new;
+    u_dist_old = c.dist_old;
+    u_counter = c.counter;
+    u_dual = c.update_type = Wire.Dl;
+    u_committed = c.role land Wire.role_committed <> 0;
+  }
+
+let handle_unm t ctx (c : Wire.control) =
+  let u = t.uib in
+  let flow_id = c.flow_id in
+  Pipeline.mark_to_drop ctx;
+  let node = node_view_of u flow_id in
+  let dual =
+    c.update_type = Wire.Dl
+    && Uib.uim_type u flow_id = Wire.update_type_to_int Wire.Dl
+  in
+  let decision =
+    if dual then Verify.dl_verify ~consecutive:t.consecutive_dl node (unm_view_of c)
+    else Verify.sl_verify node (unm_view_of c)
+  in
+  match decision with
+  | Verify.Commit source ->
+    let utype = Uib.uim_type u flow_id in
+    let label, counter, ver_prev =
+      match source with
+      | Verify.Via_sl ->
+        (Uib.dist_cur u flow_id, 0, Uib.ver_cur u flow_id)
+      | Verify.Via_dl_inside -> (c.dist_old, c.counter + 1, c.version_new - 1)
+      | Verify.Via_dl_gateway -> (c.dist_old, c.counter + 1, c.version_old)
+    in
+    (match Hashtbl.find_opt t.pending flow_id with
+     | Some pc when pc.pc_version = c.version_new && not pc.pc_cancelled ->
+       (* A commit for this version is already staged; absorb a better
+          label or chain-connectedness instead of scheduling a duplicate. *)
+       if label < pc.pc_label then begin
+         pc.pc_label <- label;
+         pc.pc_counter <- counter
+       end;
+       if c.role land Wire.role_committed <> 0 then pc.pc_chain <- true
+     | Some _ | None ->
+       push_action t
+         (Schedule_commit
+            ( flow_id,
+              {
+                pc_version = c.version_new;
+                pc_dist_new = Uib.uim_distance u flow_id;
+                pc_egress = Uib.uim_egress u flow_id;
+                pc_notify = Uib.uim_notify u flow_id;
+                pc_size = Uib.uim_size u flow_id;
+                pc_utype = utype;
+                pc_ver_prev = ver_prev;
+                pc_two_phase = Uib.uim_role u flow_id land Wire.role_two_phase <> 0;
+                pc_chain = c.role land Wire.role_committed <> 0;
+                pc_label = label;
+                pc_counter = counter;
+                pc_cancelled = false;
+                pc_resubmit_bytes = Wire.control_to_bytes c;
+              } )))
+  | Verify.Inherit_and_pass ->
+    Uib.set_dist_prev u flow_id c.dist_old;
+    Uib.set_counter u flow_id (c.counter + 1);
+    (* A chain-connected message from the committed successor makes this
+       node's chain connected as well. *)
+    if c.role land Wire.role_committed <> 0 then Uib.set_chain_ok u flow_id 1;
+    let notify = Uib.notify_port u flow_id in
+    if notify <> Wire.port_none then
+      push_action t
+        (Send_upstream (unm_of_committed t ~flow_id ~layer:c.layer ~utype:(Uib.last_type u flow_id), notify))
+    else if c.dist_old = 0 && Uib.ufm_sent u flow_id < c.version_new then begin
+      Uib.set_ufm_sent u flow_id c.version_new;
+      push_action t
+        (Send_ufm (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_success ~src:t.node))
+    end
+  | Verify.Wait_for_uim ->
+    let count = Option.value (Hashtbl.find_opt t.wait_counts flow_id) ~default:0 in
+    if count >= wait_budget then begin
+      Hashtbl.remove t.wait_counts flow_id;
+      alarm t ctx ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_wait_budget
+    end
+    else begin
+      Hashtbl.replace t.wait_counts flow_id (count + 1);
+      t.stats.waits <- t.stats.waits + 1;
+      push_action t (Resubmit_bytes (Wire.control_to_bytes c))
+    end
+  | Verify.Reject_stale -> alarm t ctx ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_stale
+  | Verify.Reject_distance ->
+    alarm t ctx ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_distance
+  | Verify.Ignore -> ()
+
+(* A cleanup packet deletes the flow state of nodes abandoned by the
+   update.  Nodes that participate in the update (their staged indication
+   is at least as new) ignore it: their own commit manages the
+   reservations. *)
+let handle_cleanup t ctx (c : Wire.control) =
+  let u = t.uib in
+  let flow_id = c.flow_id in
+  Pipeline.mark_to_drop ctx;
+  (* Only release the capacity reservation: the stale rule itself stays in
+     place, because other (equally stale) parents of older versions may
+     still route traffic through this node, and a stale rule can never
+     violate the consistency invariants.  Idempotent via the cleaned
+     flag, so duplicated cleanup packets cannot double-release. *)
+  if Uib.uim_version u flow_id < c.version_new && Uib.cleaned u flow_id = 0 then begin
+    let port = Uib.egress_port u flow_id in
+    if port <> Wire.port_none && port <> Wire.port_local then begin
+      Uib.release u port (Uib.flow_size u flow_id);
+      Uib.set_cleaned u flow_id 1;
+      (* Propagate along the abandoned old path. *)
+      push_action t
+        (Send_upstream
+           ({ c with flow_size = Uib.flow_size u flow_id; src_node = t.node }, port))
+    end
+  end
+
+let ingress_control t ctx =
+  let pkt = Pipeline.packet ctx in
+  match Wire.control_of_packet pkt with
+  | Some c ->
+    (* Registers are indexed by the flow-id hash: mask like the P4 program
+       does.  A corrupted id aliases some slot and is then rejected by the
+       verification checks. *)
+    let c = { c with Wire.flow_id = c.Wire.flow_id land (Wire.flow_space - 1) } in
+    (match c.kind with
+     | Wire.Uim -> handle_uim t ctx c
+     | Wire.Unm -> handle_unm t ctx c
+     | Wire.Cln -> handle_cleanup t ctx c
+     | Wire.Frm | Wire.Ufm -> Pipeline.mark_to_drop ctx (* switch is not their consumer *))
+  | None ->
+    (match Wire.data_of_packet pkt with
+     | Some d ->
+       handle_data t ctx { d with Wire.d_flow_id = d.Wire.d_flow_id land (Wire.flow_space - 1) }
+     | None -> Pipeline.mark_to_drop ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain_actions t =
+  let todo = t.queue in
+  t.queue <- [];
+  List.iter
+    (fun action ->
+      match action with
+      | Schedule_commit (flow_id, pc) -> schedule_commit t flow_id pc
+      | Send_upstream (msg, port) -> send_upstream t msg ~port
+      | Send_ufm msg -> Netsim.notify_controller t.net ~from:t.node (Wire.control_to_bytes msg)
+      | Resubmit_bytes bytes -> Netsim.resubmit t.net ~node:t.node bytes)
+    todo
+
+let run_pipeline t ~port bytes =
+  let outcome = Pipeline.process t.pipe ~ingress_port:port bytes in
+  List.iter
+    (fun { Pipeline.out_port; bytes } ->
+      if out_port < Netsim.port_count t.net ~node:t.node then
+        Netsim.transmit t.net ~from:t.node ~port:out_port bytes)
+    outcome.Pipeline.emissions;
+  (match outcome.Pipeline.resubmitted with
+   | Some pkt -> Netsim.resubmit t.net ~node:t.node (Packet.serialize pkt)
+   | None -> ());
+  List.iter
+    (fun pkt -> Netsim.notify_controller t.net ~from:t.node (Packet.serialize pkt))
+    outcome.Pipeline.to_controller;
+  drain_actions t
+
+let create net ~node =
+  let ports = Netsim.port_count net ~node in
+  let u = Uib.create ~ports in
+  let graph = Netsim.graph net in
+  (* Port capacities come straight from the topology, in centi-units. *)
+  List.iteri
+    (fun port neighbor ->
+      Uib.set_port_capacity u port
+        (int_of_float (Topo.Graph.capacity graph node neighbor *. 100.0)))
+    (Topo.Graph.neighbors graph node);
+  let t =
+    {
+      net;
+      node;
+      uib = u;
+      pipe = Pipeline.create ~name:"uninitialized" ~registers:[] ~tables:[]
+          { Pipeline.prog_parser = Wire.parser; prog_ingress = ignore; prog_egress = ignore };
+      stats =
+        {
+          delivered = 0;
+          forwarded = 0;
+          dropped_no_rule = 0;
+          dropped_ttl = 0;
+          commits = 0;
+          alarms = 0;
+          waits = 0;
+          congestion_defers = 0;
+        };
+      commit_hooks = [];
+      pending = Hashtbl.create 16;
+      wait_counts = Hashtbl.create 16;
+      cong_counts = Hashtbl.create 16;
+      frm_sent = Hashtbl.create 16;
+      waiting_on = Hashtbl.create 16;
+      queue = [];
+      watchdog_ms = None;
+      consecutive_dl = false;
+    }
+  in
+  let program =
+    {
+      Pipeline.prog_parser = Wire.parser;
+      prog_ingress = (fun ctx -> ingress_control t ctx);
+      prog_egress = (fun _ -> ());
+    }
+  in
+  t.pipe <-
+    Pipeline.create
+      ~name:(Printf.sprintf "p4update-sw%d" node)
+      ~registers:(Uib.registers u) ~tables:[] program;
+  (* One-to-one port-based clone sessions (§8). *)
+  for port = 0 to ports - 1 do
+    Pipeline.set_clone_session t.pipe ~session:port ~port
+  done;
+  Netsim.attach net ~node (fun event ->
+      match event with
+      | Netsim.Data { port; bytes } -> run_pipeline t ~port bytes
+      | Netsim.From_controller bytes -> run_pipeline t ~port:cpu_port bytes);
+  t
+
+let inject_data t data = run_pipeline t ~port:host_port (Wire.data_to_bytes data)
+
+let install_initial t ~flow_id ~version ~dist ~egress_port ~notify_port ~size =
+  let u = t.uib in
+  Uib.set_ver_cur u flow_id version;
+  Uib.set_dist_cur u flow_id dist;
+  Uib.set_ver_prev u flow_id (max 0 (version - 1));
+  Uib.set_dist_prev u flow_id dist;
+  Uib.set_egress_port u flow_id egress_port;
+  Uib.set_notify_port u flow_id notify_port;
+  Uib.set_flow_size u flow_id size;
+  Uib.set_last_type u flow_id (Wire.update_type_to_int Wire.Sl);
+  if egress_port <> Wire.port_none && egress_port <> Wire.port_local then
+    Uib.reserve u egress_port size
+
+let forwarding_port t ~flow_id = Uib.egress_port t.uib flow_id
+let version_of t ~flow_id = Uib.ver_cur t.uib flow_id

@@ -1,0 +1,219 @@
+module Header = P4rt.Header
+module Packet = P4rt.Packet
+module Parser = P4rt.Parser
+
+let etype_control = 0x88B5
+let etype_data = 0x0800
+let flow_space = 1024
+let port_none = 255
+let port_local = 254
+
+type msg_kind = Frm | Uim | Unm | Ufm | Cln
+
+let msg_kind_to_int = function Frm -> 1 | Uim -> 2 | Unm -> 3 | Ufm -> 4 | Cln -> 5
+
+let msg_kind_of_int = function
+  | 1 -> Some Frm
+  | 2 -> Some Uim
+  | 3 -> Some Unm
+  | 4 -> Some Ufm
+  | 5 -> Some Cln
+  | _ -> None
+
+type update_type = Sl | Dl
+
+let update_type_to_int = function Sl -> 1 | Dl -> 2
+let update_type_of_int = function 1 -> Some Sl | 2 -> Some Dl | _ -> None
+
+let role_plain = 0
+let role_flow_egress = 1
+let role_flow_ingress = 2
+let role_segment_egress = 4
+let role_gateway = 8
+let role_committed = 16
+let role_two_phase = 32
+
+let ufm_success = 0
+let ufm_alarm_distance = 1
+let ufm_alarm_stale = 2
+let ufm_alarm_wait_budget = 3
+let ufm_alarm_timeout = 4
+
+let eth_schema =
+  Header.define ~name:"eth" [ ("dst", 16); ("src", 16); ("etype", 16) ]
+
+let p4u_schema =
+  Header.define ~name:"p4u"
+    [
+      ("msg_type", 8);
+      ("flow_id", 16);
+      ("version_new", 16);
+      ("version_old", 16);
+      ("dist_new", 16);
+      ("dist_old", 16);
+      ("update_type", 8);
+      ("layer", 8);
+      ("counter", 16);
+      ("flow_size", 16);
+      ("egress_port", 8);
+      ("notify_port", 8);
+      ("role", 8);
+      ("src_node", 16);
+    ]
+
+let data_schema =
+  Header.define ~name:"data"
+    [ ("flow_id", 16); ("seq", 32); ("ttl", 8); ("origin", 8); ("dst", 16); ("tag", 16) ]
+
+let parser =
+  Parser.create
+    [
+      {
+        Parser.state_name = "start";
+        extracts = Some eth_schema;
+        transition =
+          Select
+            ( "etype",
+              [ (etype_control, "p4u"); (etype_data, "data") ],
+              Accept );
+      };
+      { Parser.state_name = "p4u"; extracts = Some p4u_schema; transition = Accept };
+      { Parser.state_name = "data"; extracts = Some data_schema; transition = Accept };
+    ]
+
+type control = {
+  kind : msg_kind;
+  flow_id : int;
+  version_new : int;
+  version_old : int;
+  dist_new : int;
+  dist_old : int;
+  update_type : update_type;
+  layer : int;
+  counter : int;
+  flow_size : int;
+  egress_port : int;
+  notify_port : int;
+  role : int;
+  src_node : int;
+}
+
+let control_default kind =
+  {
+    kind;
+    flow_id = 0;
+    version_new = 0;
+    version_old = 0;
+    dist_new = 0;
+    dist_old = 0;
+    update_type = Sl;
+    layer = 0;
+    counter = 0;
+    flow_size = 0;
+    egress_port = port_none;
+    notify_port = port_none;
+    role = role_plain;
+    src_node = 0;
+  }
+
+let eth_header ~etype =
+  let h = Header.make eth_schema in
+  Header.set h "etype" etype
+
+let control_to_packet c =
+  let h = Header.make p4u_schema in
+  let h = Header.set h "msg_type" (msg_kind_to_int c.kind) in
+  let h = Header.set h "flow_id" c.flow_id in
+  let h = Header.set h "version_new" c.version_new in
+  let h = Header.set h "version_old" c.version_old in
+  let h = Header.set h "dist_new" c.dist_new in
+  let h = Header.set h "dist_old" c.dist_old in
+  let h = Header.set h "update_type" (update_type_to_int c.update_type) in
+  let h = Header.set h "layer" c.layer in
+  let h = Header.set h "counter" c.counter in
+  let h = Header.set h "flow_size" c.flow_size in
+  let h = Header.set h "egress_port" c.egress_port in
+  let h = Header.set h "notify_port" c.notify_port in
+  let h = Header.set h "role" c.role in
+  let h = Header.set h "src_node" c.src_node in
+  Packet.make [ eth_header ~etype:etype_control; h ]
+
+let control_of_packet pkt =
+  match Packet.header pkt "p4u" with
+  | None -> None
+  | Some h ->
+    (match
+       ( msg_kind_of_int (Header.get h "msg_type"),
+         update_type_of_int (Header.get h "update_type") )
+     with
+     | Some kind, Some update_type ->
+       Some
+         {
+           kind;
+           flow_id = Header.get h "flow_id";
+           version_new = Header.get h "version_new";
+           version_old = Header.get h "version_old";
+           dist_new = Header.get h "dist_new";
+           dist_old = Header.get h "dist_old";
+           update_type;
+           layer = Header.get h "layer";
+           counter = Header.get h "counter";
+           flow_size = Header.get h "flow_size";
+           egress_port = Header.get h "egress_port";
+           notify_port = Header.get h "notify_port";
+           role = Header.get h "role";
+           src_node = Header.get h "src_node";
+         }
+     | _ -> None)
+
+type data = {
+  d_flow_id : int;
+  seq : int;
+  ttl : int;
+  origin : int;
+  dst : int;
+  tag : int;
+}
+
+let data_to_packet d =
+  let h = Header.make data_schema in
+  let h = Header.set h "flow_id" d.d_flow_id in
+  let h = Header.set h "seq" d.seq in
+  let h = Header.set h "ttl" d.ttl in
+  let h = Header.set h "origin" d.origin in
+  let h = Header.set h "dst" d.dst in
+  let h = Header.set h "tag" d.tag in
+  Packet.make [ eth_header ~etype:etype_data; h ]
+
+let data_of_packet pkt =
+  match Packet.header pkt "data" with
+  | None -> None
+  | Some h ->
+    Some
+      {
+        d_flow_id = Header.get h "flow_id";
+        seq = Header.get h "seq";
+        ttl = Header.get h "ttl";
+        origin = Header.get h "origin";
+        dst = Header.get h "dst";
+        tag = Header.get h "tag";
+      }
+
+let control_to_bytes c = Packet.serialize (control_to_packet c)
+let data_to_bytes d = Packet.serialize (data_to_packet d)
+
+let packet_of_bytes bytes =
+  match Parser.run parser bytes with
+  | pkt -> Some pkt
+  | exception Parser.Parse_error _ -> None
+
+let pp_control fmt c =
+  let kind_name = function
+    | Frm -> "FRM" | Uim -> "UIM" | Unm -> "UNM" | Ufm -> "UFM" | Cln -> "CLN"
+  in
+  Format.fprintf fmt
+    "%s{flow=%d Vn=%d Vo=%d Dn=%d Do=%d type=%s layer=%d C=%d size=%d egr=%d ntf=%d role=%d \
+     src=%d}"
+    (kind_name c.kind) c.flow_id c.version_new c.version_old c.dist_new c.dist_old
+    (match c.update_type with Sl -> "SL" | Dl -> "DL")
+    c.layer c.counter c.flow_size c.egress_port c.notify_port c.role c.src_node

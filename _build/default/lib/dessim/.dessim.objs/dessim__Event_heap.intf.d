@@ -1,0 +1,1 @@
+lib/dessim/event_heap.mli:

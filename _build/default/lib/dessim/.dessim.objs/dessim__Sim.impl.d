@@ -1,0 +1,1 @@
+lib/dessim/sim.ml: Event_heap Float Random

@@ -1,0 +1,27 @@
+(** Binary min-heap of timestamped events.
+
+    Events are ordered first by time, then by a monotonically increasing
+    sequence number, so that two events scheduled for the same instant are
+    delivered in scheduling order (stable FIFO tie-breaking).  This is
+    essential for deterministic simulation replays. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push heap ~time event] inserts [event] to fire at [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** [pop heap] removes and returns the earliest event, or [None] when the
+    heap is empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time heap] is the timestamp of the earliest event without
+    removing it. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [clear heap] drops all pending events. *)
+val clear : 'a t -> unit

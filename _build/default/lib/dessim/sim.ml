@@ -1,0 +1,61 @@
+type t = {
+  mutable clock : float;
+  heap : (unit -> unit) Event_heap.t;
+  random : Random.State.t;
+}
+
+let create ?(seed = 0x5eed) () =
+  { clock = 0.0; heap = Event_heap.create (); random = Random.State.make [| seed |] }
+
+let now t = t.clock
+let rng t = t.random
+
+let schedule_at t ~time f =
+  if not (Float.is_finite time) then invalid_arg "Sim.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  Event_heap.push t.heap ~time f
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Sim.schedule: negative or non-finite delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  let horizon_reached () =
+    match (until, Event_heap.peek_time t.heap) with
+    | Some horizon, Some next -> next > horizon
+    | _, None -> true
+    | None, Some _ -> false
+  in
+  let rec loop processed =
+    if horizon_reached () then processed
+    else if step t then loop (processed + 1)
+    else processed
+  in
+  loop 0
+
+let pending t = Event_heap.size t.heap
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Sim.exponential: mean must be positive";
+  let u = Random.State.float t.random 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then Float.min_float else u in
+  -.mean *. log u
+
+let normal t ~mean ~stddev =
+  let u1 = max Float.min_float (Random.State.float t.random 1.0) in
+  let u2 = Random.State.float t.random 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  Float.max 0.0 (mean +. (stddev *. z))
+
+let uniform t ~bound = Random.State.float t.random bound
+let uniform_int t ~bound = Random.State.int t.random bound

@@ -1,0 +1,49 @@
+(** Discrete-event simulation kernel.
+
+    A simulation owns a virtual clock (milliseconds, [float]), an event heap
+    and a deterministic random state.  Events are thunks; scheduling is the
+    only way time advances.  The kernel is single-threaded and fully
+    deterministic for a given seed and scheduling order. *)
+
+type t
+
+(** [create ~seed ()] makes an empty simulation with its clock at [0.0]. *)
+val create : ?seed:int -> unit -> t
+
+(** Current simulated time in milliseconds. *)
+val now : t -> float
+
+(** Random state of this simulation; use it for every stochastic choice so
+    runs are reproducible. *)
+val rng : t -> Random.State.t
+
+(** [schedule t ~delay f] runs [f ()] at [now t +. delay].  Raises
+    [Invalid_argument] if [delay] is negative or not finite. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f ()] at absolute [time], which must not
+    be in the simulated past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** [run t] processes events until the heap is empty or the optional
+    [until] horizon is passed (events scheduled later stay pending).
+    Returns the number of events processed. *)
+val run : ?until:float -> t -> int
+
+(** [step t] processes the single earliest event.  Returns [false] when no
+    event is pending. *)
+val step : t -> bool
+
+val pending : t -> int
+
+(** Exponential sample with the given [mean], from the simulation RNG. *)
+val exponential : t -> mean:float -> float
+
+(** Truncated-at-zero normal sample (Box–Muller). *)
+val normal : t -> mean:float -> stddev:float -> float
+
+(** Uniform float in \[0, bound). *)
+val uniform : t -> bound:float -> float
+
+(** Uniform int in \[0, bound). *)
+val uniform_int : t -> bound:int -> int

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Buffer Dessim List Netsim P4update Printf Random Scenarios Stats Topo

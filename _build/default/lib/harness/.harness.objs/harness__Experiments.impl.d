@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Baselines Buffer Dessim Hashtbl List Netsim Option P4update Printf Random Scenarios Stats Sys Topo

@@ -1,0 +1,1 @@
+lib/harness/fwdcheck.ml: Array Format List Netsim P4update String Topo

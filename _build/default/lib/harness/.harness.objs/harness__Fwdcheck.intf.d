@@ -1,0 +1,1 @@
+lib/harness/fwdcheck.mli: Format Netsim P4update

@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Array Baselines Dessim Hashtbl List Netsim Option P4update Random Stats Topo

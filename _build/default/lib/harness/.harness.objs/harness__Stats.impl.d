@@ -1,0 +1,1 @@
+lib/harness/stats.ml: Array Buffer Float List Printf

@@ -1,0 +1,1 @@
+lib/harness/svg.ml: Array Buffer Char Experiments Filename Float List Printf Scenarios Stats String Sys

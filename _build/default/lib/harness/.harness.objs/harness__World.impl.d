@@ -1,0 +1,1 @@
+lib/harness/world.ml: Array Dessim List Netsim P4update Topo

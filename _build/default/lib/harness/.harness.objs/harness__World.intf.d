@@ -1,0 +1,1 @@
+lib/harness/world.mli: Dessim Netsim P4update Topo

@@ -1,0 +1,71 @@
+(** One runner per evaluation artifact of the paper (see DESIGN.md §3).
+
+    Every function is deterministic given its seed(s) and returns plain
+    data; {!render} helpers turn results into the text the bench harness
+    prints. *)
+
+(** {2 Fig. 2 — inconsistent (reordered) updates} *)
+
+type fig2_result = {
+  f2_system : string;
+  f2_sent : int;                       (** packets injected at v0 *)
+  f2_v1_arrivals : (float * int) list; (** time, sequence id at v1 *)
+  f2_v4_arrivals : (float * int) list; (** time, sequence id at v4 *)
+  f2_duplicated : int;                 (** distinct seqs seen more than once at v1 *)
+  f2_max_copies : int;                 (** worst-case copies of one seq at v1 *)
+  f2_lost : int;                       (** seqs never delivered at v4 *)
+}
+
+(** [fig2 ()] runs the §4.1 scenario for SL-P4Update and ez-Segway. *)
+val fig2 : ?seed:int -> unit -> fig2_result list
+
+(** {2 Fig. 4 — skip-ahead over an ongoing update} *)
+
+type fig4_result = {
+  f4_p4update : float list;  (** completion of U3, 30 runs *)
+  f4_ez : float list;
+  f4_speedup : float;        (** mean(ez) / mean(p4update) — paper: ≈ 4 *)
+}
+
+val fig4 : unit -> fig4_result
+
+(** {2 Fig. 7 — total update time CDFs} *)
+
+type fig7_scenario = {
+  f7_id : string;       (** "7a" .. "7f" *)
+  f7_title : string;
+  f7_setup : Scenarios.setup;
+  f7_multi : bool;
+}
+
+val fig7_scenarios : unit -> fig7_scenario list
+
+type fig7_result = {
+  f7_scenario : fig7_scenario;
+  f7_samples : (Scenarios.system * float list) list;
+}
+
+(** [fig7 scenario] runs all three systems, [Scenarios.runs] seeds each. *)
+val fig7 : ?runs:int -> fig7_scenario -> fig7_result
+
+(** {2 Fig. 8 — control-plane preparation time ratio} *)
+
+type fig8_row = {
+  f8_topology : string;
+  f8_nodes : int;
+  f8_edges : int;
+  f8_p4u_ms : float;   (** total preparation time, this repo's P4Update controller *)
+  f8_ez_ms : float;    (** total preparation time, ez-Segway *)
+  f8_ratio : float;    (** p4u / ez — Fig. 8 bar value *)
+}
+
+(** [fig8 ~congestion ()] measures the preparation runtime over
+    [iterations] random updates on the four WANs of Fig. 8. *)
+val fig8 : ?iterations:int -> congestion:bool -> unit -> fig8_row list
+
+(** {2 Rendering} *)
+
+val render_fig2 : fig2_result list -> string
+val render_fig4 : fig4_result -> string
+val render_fig7 : fig7_result -> string
+val render_fig8 : congestion:bool -> fig8_row list -> string

@@ -1,0 +1,50 @@
+type outcome =
+  | Reaches_egress of int list
+  | Blackhole of int
+  | Loop of int list
+
+let trace net switches ~flow_id ~src =
+  let budget = Topo.Graph.node_count (Netsim.graph net) + 1 in
+  let rec walk node visited steps =
+    if steps > budget then
+      (* Extract the cycle from the visited suffix. *)
+      let rec cycle acc = function
+        | [] -> List.rev acc
+        | v :: rest -> if v = node then List.rev (v :: acc) else cycle (v :: acc) rest
+      in
+      Loop (cycle [] (List.rev visited))
+    else
+      let port = P4update.Switch.forwarding_port switches.(node) ~flow_id in
+      if port = P4update.Wire.port_none then Blackhole node
+      else if port = P4update.Wire.port_local then Reaches_egress (List.rev (node :: visited))
+      else
+        match Netsim.neighbor_of_port net ~node ~port with
+        | None -> Blackhole node
+        | Some next -> walk next (node :: visited) (steps + 1)
+  in
+  walk src [] 0
+
+let is_consistent = function
+  | Reaches_egress _ -> true
+  | Blackhole _ | Loop _ -> false
+
+let link_violations net switches =
+  let violations = ref [] in
+  Array.iteri
+    (fun node sw ->
+      let uib = P4update.Switch.uib sw in
+      for port = 0 to Netsim.port_count net ~node - 1 do
+        let reserved = P4update.Uib.reserved uib port in
+        let capacity = P4update.Uib.port_capacity uib port in
+        if reserved > capacity then violations := (node, port, reserved, capacity) :: !violations
+      done)
+    switches;
+  List.rev !violations
+
+let pp_outcome fmt = function
+  | Reaches_egress path ->
+    Format.fprintf fmt "reaches egress via [%s]"
+      (String.concat "; " (List.map string_of_int path))
+  | Blackhole node -> Format.fprintf fmt "blackhole at %d" node
+  | Loop cycle ->
+    Format.fprintf fmt "loop [%s]" (String.concat "; " (List.map string_of_int cycle))

@@ -1,0 +1,24 @@
+(** Forwarding-state inspection: walk the data-plane state of a set of
+    switches to verify the consistency properties (blackhole, loop and
+    congestion freedom) at any instant of a simulation. *)
+
+type outcome =
+  | Reaches_egress of int list  (** the traversed path, ingress included *)
+  | Blackhole of int            (** first node without a matching rule *)
+  | Loop of int list            (** the repeating node cycle *)
+
+(** [trace net switches ~flow_id ~src] follows the committed forwarding
+    rules from [src]. *)
+val trace :
+  Netsim.t -> P4update.Switch.t array -> flow_id:int -> src:int -> outcome
+
+(** [is_consistent outcome] is true only for [Reaches_egress]. *)
+val is_consistent : outcome -> bool
+
+(** [link_violations net switches] returns every directed link whose
+    reserved load exceeds its capacity, as
+    [(node, port, reserved, capacity)]. *)
+val link_violations :
+  Netsim.t -> P4update.Switch.t array -> (int * int * int * int) list
+
+val pp_outcome : Format.formatter -> outcome -> unit

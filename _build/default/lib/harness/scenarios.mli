@@ -1,0 +1,43 @@
+(** Shared experiment runners: one update-time measurement per system,
+    on identical topologies, workloads and seeds (§9.1). *)
+
+type system = P4u | Ez | Central
+
+val system_name : system -> string
+val all_systems : system list
+
+(** Configuration of one run. *)
+type setup = {
+  topo : unit -> Topo.Topologies.t;
+  stragglers : bool;        (** Exp(100 ms) rule installs (single-flow setup) *)
+  congestion : bool;        (** capacity-gated moves (multi-flow setup) *)
+  headroom : float;
+      (** per-link capacity headroom over the workload's worst load (the
+          multi-flow traffic sits "close to the network's capacity") *)
+  control : Netsim.control_latency option;
+      (** override (fat-tree uses a normal distribution); default Geo *)
+}
+
+val config_of : setup -> Netsim.config
+
+(** [single_flow_time setup system ~old_path ~new_path ~seed] runs one
+    single-flow update and returns the completion time in ms (update
+    start → controller-received UFM).  Raises [Failure] if the update
+    never completes. *)
+val single_flow_time :
+  ?update_type:P4update.Wire.update_type ->
+  setup -> system -> old_path:int list -> new_path:int list -> seed:int -> float
+
+(** [multi_flow_time setup system ~seed] draws the multi-flow workload of
+    §9.1 (shortest → 2nd-shortest, gravity sizes near capacity) and
+    returns the completion time of the last flow. *)
+val multi_flow_time :
+  ?update_type:P4update.Wire.update_type -> setup -> system -> seed:int -> float
+
+(** [single_flow_paths topo] picks the single-flow scenario paths on a
+    WAN: a long old path and an alternative that triggers segmentation
+    (contains a backward segment when one exists). *)
+val single_flow_paths : Topo.Topologies.t -> int list * int list
+
+(** Number of runs used for the Fig. 7 CDFs (30 in the paper). *)
+val runs : int

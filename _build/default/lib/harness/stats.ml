@@ -1,0 +1,83 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+    let sorted = List.sort compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let median xs = percentile 50.0 xs
+let minimum = function [] -> nan | xs -> List.fold_left Float.min infinity xs
+let maximum = function [] -> nan | xs -> List.fold_left Float.max neg_infinity xs
+
+let cdf xs =
+  let sorted = List.sort compare xs in
+  let n = float_of_int (List.length sorted) in
+  List.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) sorted
+
+(* z = 2.576 for a two-sided 99% interval. *)
+let confidence99 = function
+  | [] | [ _ ] -> 0.0
+  | xs -> 2.576 *. stddev xs /. sqrt (float_of_int (List.length xs))
+
+let summary name xs =
+  Printf.sprintf "%s: n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f max=%.2f" name
+    (List.length xs) (mean xs) (stddev xs) (minimum xs) (median xs) (percentile 90.0 xs)
+    (maximum xs)
+
+let ascii_cdf ?(width = 60) ~series () =
+  match List.concat_map snd series with
+  | [] -> "(no data)\n"
+  | all ->
+    let lo = minimum all and hi = maximum all in
+    let span = if hi > lo then hi -. lo else 1.0 in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (label, xs) ->
+        Buffer.add_string buf (Printf.sprintf "%-14s |" label);
+        let points = cdf xs in
+        let value_at_column col =
+          let x = lo +. (span *. float_of_int col /. float_of_int (width - 1)) in
+          let rec fraction acc = function
+            | [] -> acc
+            | (v, f) :: rest -> if v <= x then fraction f rest else acc
+          in
+          fraction 0.0 points
+        in
+        for col = 0 to width - 1 do
+          let f = value_at_column col in
+          let ch =
+            if f >= 0.999 then '#'
+            else if f >= 0.75 then '%'
+            else if f >= 0.5 then '+'
+            else if f >= 0.25 then '-'
+            else if f > 0.0 then '.'
+            else ' '
+          in
+          Buffer.add_char buf ch
+        done;
+        Buffer.add_string buf "|\n")
+      series;
+    Buffer.add_string buf
+      (Printf.sprintf "%-14s  %-10.1f%*s\n" "x [ms]:" lo (width - 10) (Printf.sprintf "%.1f" hi));
+    Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Small statistics toolkit for the evaluation harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in \[0, 100\] (linear interpolation). *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** [cdf xs] is the empirical CDF as sorted [(value, fraction)] points. *)
+val cdf : float list -> (float * float) list
+
+(** 99% confidence half-interval of the mean (normal approximation). *)
+val confidence99 : float list -> float
+
+(** [summary name xs] renders a one-line summary ("name: mean=… p50=…"). *)
+val summary : string -> float list -> string
+
+(** [ascii_cdf ~width ~series] renders a terminal plot of several CDFs on
+    a common axis; [series] pairs a label with its samples. *)
+val ascii_cdf : ?width:int -> series:(string * float list) list -> unit -> string

@@ -1,0 +1,263 @@
+type series = {
+  s_label : string;
+  s_points : (float * float) list;
+}
+
+(* A brand-neutral categorical palette with good contrast. *)
+let palette = [| "#4269d0"; "#efb118"; "#ff725c"; "#6cc5b0"; "#3ca951"; "#9c6b4e" |]
+let color i = palette.(i mod Array.length palette)
+
+let width = 640.0
+let height = 400.0
+let margin_left = 70.0
+let margin_right = 20.0
+let margin_top = 40.0
+let margin_bottom = 55.0
+
+let plot_w = width -. margin_left -. margin_right
+let plot_h = height -. margin_top -. margin_bottom
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header ~title =
+  Printf.sprintf
+    {|<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">
+<rect width="%.0f" height="%.0f" fill="white"/>
+<text x="%.0f" y="24" font-size="16" font-weight="bold">%s</text>
+|}
+    width height width height width height margin_left (escape title)
+
+let footer = "</svg>\n"
+
+(* Nice round tick steps: 1/2/5 * 10^k covering the span in ~5 ticks. *)
+let tick_step span =
+  if span <= 0.0 then 1.0
+  else begin
+    let raw = span /. 5.0 in
+    let magnitude = 10.0 ** Float.round (Float.log10 raw -. 0.5) in
+    let candidates = [ magnitude; 2.0 *. magnitude; 5.0 *. magnitude; 10.0 *. magnitude ] in
+    List.fold_left (fun acc c -> if c < raw then c else Float.min acc c) (10.0 *. magnitude)
+      candidates
+  end
+
+let ticks lo hi =
+  let step = tick_step (hi -. lo) in
+  let first = Float.round (lo /. step) *. step in
+  let rec go acc t = if t > hi +. (step /. 2.0) then List.rev acc else go (t :: acc) (t +. step) in
+  go [] (Float.max first lo)
+
+let axes ~x_label ~y_label ~x_lo ~x_hi ~y_lo ~y_hi =
+  let buf = Buffer.create 1024 in
+  let sx x = margin_left +. ((x -. x_lo) /. (x_hi -. x_lo) *. plot_w) in
+  let sy y = margin_top +. plot_h -. ((y -. y_lo) /. (y_hi -. y_lo) *. plot_h) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#666"/>
+|}
+       margin_left margin_top plot_w plot_h);
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/><text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%g</text>
+|}
+           (sx t) margin_top (sx t) (margin_top +. plot_h) (sx t)
+           (margin_top +. plot_h +. 16.0) t))
+    (ticks x_lo x_hi);
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/><text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%g</text>
+|}
+           margin_left (sy t) (margin_left +. plot_w) (sy t) (margin_left -. 6.0)
+           (sy t +. 4.0) t))
+    (ticks y_lo y_hi);
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<text x="%.1f" y="%.1f" font-size="13" text-anchor="middle">%s</text>
+<text x="16" y="%.1f" font-size="13" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>
+|}
+       (margin_left +. (plot_w /. 2.0))
+       (height -. 12.0) (escape x_label)
+       (margin_top +. (plot_h /. 2.0))
+       (margin_top +. (plot_h /. 2.0))
+       (escape y_label));
+  (buf, sx, sy)
+
+let legend buf series =
+  List.iteri
+    (fun i s ->
+      let y = margin_top +. 14.0 +. (float_of_int i *. 16.0) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/><text x="%.1f" y="%.1f" font-size="12">%s</text>
+|}
+           (margin_left +. 10.0) (y -. 10.0) (color i)
+           (margin_left +. 27.0) y (escape s.s_label)))
+    series
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.s_points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.s_points) series in
+  let lo l = List.fold_left Float.min infinity l in
+  let hi l = List.fold_left Float.max neg_infinity l in
+  (lo xs, hi xs, lo ys, hi ys)
+
+let cdf_plot ~title ~x_label series =
+  let series =
+    List.map (fun s -> { s with s_points = List.sort compare s.s_points }) series
+  in
+  let x_lo, x_hi, _, _ = bounds series in
+  let x_hi = if x_hi > x_lo then x_hi else x_lo +. 1.0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~title);
+  let abuf, sx, sy = axes ~x_label ~y_label:"CDF" ~x_lo ~x_hi ~y_lo:0.0 ~y_hi:1.0 in
+  Buffer.add_buffer buf abuf;
+  List.iteri
+    (fun i s ->
+      match s.s_points with
+      | [] -> ()
+      | (x0, _) :: _ ->
+        let path = Buffer.create 256 in
+        Buffer.add_string path (Printf.sprintf "M %.1f %.1f" (sx x0) (sy 0.0));
+        let last_y = ref 0.0 in
+        List.iter
+          (fun (x, y) ->
+            Buffer.add_string path (Printf.sprintf " L %.1f %.1f" (sx x) (sy !last_y));
+            Buffer.add_string path (Printf.sprintf " L %.1f %.1f" (sx x) (sy y));
+            last_y := y)
+          s.s_points;
+        Buffer.add_string path (Printf.sprintf " L %.1f %.1f" (sx x_hi) (sy !last_y));
+        Buffer.add_string buf
+          (Printf.sprintf {|<path d="%s" fill="none" stroke="%s" stroke-width="2"/>
+|}
+             (Buffer.contents path) (color i)))
+    series;
+  legend buf series;
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let scatter_plot ~title ~x_label ~y_label series =
+  let x_lo, x_hi, y_lo, y_hi = bounds series in
+  let x_hi = if x_hi > x_lo then x_hi else x_lo +. 1.0 in
+  let y_hi = if y_hi > y_lo then y_hi else y_lo +. 1.0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~title);
+  let abuf, sx, sy = axes ~x_label ~y_label ~x_lo ~x_hi ~y_lo ~y_hi in
+  Buffer.add_buffer buf abuf;
+  List.iteri
+    (fun i s ->
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buf
+            (Printf.sprintf {|<circle cx="%.1f" cy="%.1f" r="1.8" fill="%s" fill-opacity="0.7"/>
+|}
+               (sx x) (sy y) (color i)))
+        s.s_points)
+    series;
+  legend buf series;
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let bar_chart ~title ~y_label bars =
+  let y_hi = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 bars in
+  let y_hi = if y_hi > 0.0 then y_hi *. 1.15 else 1.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (header ~title);
+  let abuf, _, sy = axes ~x_label:"" ~y_label ~x_lo:0.0 ~x_hi:1.0 ~y_lo:0.0 ~y_hi in
+  Buffer.add_buffer buf abuf;
+  let n = List.length bars in
+  let slot = plot_w /. float_of_int (max n 1) in
+  List.iteri
+    (fun i (label, v) ->
+      let x = margin_left +. (float_of_int i *. slot) +. (slot *. 0.15) in
+      let w = slot *. 0.7 in
+      let y = sy v in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>
+<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>
+<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%.3f</text>
+|}
+           x y w
+           (margin_top +. plot_h -. y)
+           (color i)
+           (x +. (w /. 2.0))
+           (margin_top +. plot_h +. 16.0)
+           (escape label)
+           (x +. (w /. 2.0))
+           (y -. 5.0) v))
+    bars;
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let save path svg =
+  let oc = open_out path in
+  output_string oc svg;
+  close_out oc
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let render_fig2 ~dir results =
+  ensure_dir dir;
+  List.iter
+    (fun (r : Experiments.fig2_result) ->
+      let slug =
+        String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) r.f2_system
+      in
+      let mk points = List.map (fun (t, seq) -> (t, float_of_int seq)) points in
+      save
+        (Filename.concat dir (Printf.sprintf "fig2_%s.svg" slug))
+        (scatter_plot
+           ~title:(Printf.sprintf "Fig. 2 - packets under inconsistent updates (%s)" r.f2_system)
+           ~x_label:"time [ms]" ~y_label:"packet sequence id"
+           [
+             { s_label = "received at v1"; s_points = mk r.f2_v1_arrivals };
+             { s_label = "received at v4"; s_points = mk r.f2_v4_arrivals };
+           ]))
+    results
+
+let cdf_series label samples =
+  { s_label = label; s_points = Stats.cdf samples }
+
+let render_fig4 ~dir (r : Experiments.fig4_result) =
+  ensure_dir dir;
+  save
+    (Filename.concat dir "fig4.svg")
+    (cdf_plot ~title:"Fig. 4 - two sequential updates (skip-ahead)" ~x_label:"update time [ms]"
+       [ cdf_series "P4Update" r.f4_p4update; cdf_series "ez-Segway" r.f4_ez ])
+
+let render_fig7 ~dir (r : Experiments.fig7_result) =
+  ensure_dir dir;
+  save
+    (Filename.concat dir (Printf.sprintf "fig%s.svg" r.f7_scenario.Experiments.f7_id))
+    (cdf_plot
+       ~title:(Printf.sprintf "Fig. %s - %s" r.f7_scenario.Experiments.f7_id
+                 r.f7_scenario.Experiments.f7_title)
+       ~x_label:"update time [ms]"
+       (List.map
+          (fun (system, samples) -> cdf_series (Scenarios.system_name system) samples)
+          r.f7_samples))
+
+let render_fig8 ~dir ~congestion rows =
+  ensure_dir dir;
+  save
+    (Filename.concat dir (if congestion then "fig8b.svg" else "fig8a.svg"))
+    (bar_chart
+       ~title:
+         (Printf.sprintf "Fig. 8%s - preparation time ratio (P4Update / ez-Segway)%s"
+            (if congestion then "b" else "a")
+            (if congestion then " with congestion freedom" else ""))
+       ~y_label:"runtime ratio"
+       (List.map (fun (r : Experiments.fig8_row) -> (r.f8_topology, r.f8_ratio)) rows))

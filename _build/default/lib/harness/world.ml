@@ -1,0 +1,28 @@
+module Sim = Dessim.Sim
+
+type t = {
+  sim : Sim.t;
+  net : Netsim.t;
+  switches : P4update.Switch.t array;
+  controller : P4update.Controller.t;
+}
+
+let make ?seed ?config topo =
+  let sim = Sim.create ?seed () in
+  let net = Netsim.create ?config sim topo in
+  let n = Topo.Graph.node_count topo.Topo.Topologies.graph in
+  let switches = Array.init n (fun node -> P4update.Switch.create net ~node) in
+  let controller = P4update.Controller.create net in
+  { sim; net; switches; controller }
+
+let install_flow w ~src ~dst ~size ~path =
+  let flow = P4update.Controller.register_flow w.controller ~src ~dst ~size ~path in
+  let labels = P4update.Label.of_path w.net path in
+  List.iter
+    (fun (l : P4update.Label.node_label) ->
+      P4update.Switch.install_initial w.switches.(l.node) ~flow_id:flow.flow_id ~version:1
+        ~dist:l.dist_new ~egress_port:l.egress_port ~notify_port:l.notify_port ~size)
+    labels;
+  flow
+
+let run ?until w = Sim.run ?until w.sim

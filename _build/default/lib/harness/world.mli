@@ -1,0 +1,21 @@
+(** Convenience builder that wires a topology, the P4Update switches and
+    the controller into one simulated world. *)
+
+type t = {
+  sim : Dessim.Sim.t;
+  net : Netsim.t;
+  switches : P4update.Switch.t array;
+  controller : P4update.Controller.t;
+}
+
+(** [make ?seed ?config topo] builds the world (one switch per node). *)
+val make : ?seed:int -> ?config:Netsim.config -> Topo.Topologies.t -> t
+
+(** [install_flow w ~src ~dst ~size ~path] registers the flow with the
+    controller and installs its version-1 forwarding state on every node
+    of [path].  Returns the flow record. *)
+val install_flow :
+  t -> src:int -> dst:int -> size:int -> path:int list -> P4update.Controller.flow
+
+(** [run w] drains the event queue (optionally bounded). *)
+val run : ?until:float -> t -> int

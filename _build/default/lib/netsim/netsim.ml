@@ -1,0 +1,207 @@
+module Sim = Dessim.Sim
+module Graph = Topo.Graph
+module Topologies = Topo.Topologies
+
+type control_latency =
+  | Geo
+  | Normal_dist of { mean : float; stddev : float }
+  | Fixed of float
+
+type config = {
+  switch_processing_ms : float;
+  rule_update_mean_ms : float option;
+  resubmit_delay_ms : float;
+  control_latency : control_latency;
+  controller_service_ms : float;
+  controller_background_ms : float;
+}
+
+let default_config =
+  {
+    switch_processing_ms = 0.5;
+    rule_update_mean_ms = None;
+    resubmit_delay_ms = 0.25;
+    control_latency = Geo;
+    controller_service_ms = 0.25;
+    controller_background_ms = 0.0;
+  }
+
+type fault = Deliver | Drop | Delay of float | Corrupt | Duplicate
+
+type event =
+  | Data of { port : int; bytes : Bytes.t }
+  | From_controller of Bytes.t
+
+type counters = {
+  mutable data_packets : int;
+  mutable control_to_switch : int;
+  mutable control_to_controller : int;
+  mutable resubmissions : int;
+  mutable dropped_by_fault : int;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topologies.t;
+  cfg : config;
+  ports : int array array; (* node -> port -> neighbor *)
+  mutable handlers : (event -> unit) array;
+  mutable controller_handler : (from:int -> Bytes.t -> unit) option;
+  mutable data_fault : (from:int -> to_:int -> Bytes.t -> fault) option;
+  mutable observers : (float -> int -> int -> Bytes.t -> unit) list;
+  ctl_latency : float array; (* per-node control-plane latency (Geo/Fixed) *)
+  mutable controller_busy_until : float;
+  stats : counters;
+}
+
+let compute_ctl_latencies topo cfg =
+  let g = topo.Topologies.graph in
+  let n = Graph.node_count g in
+  Array.init n (fun node ->
+      match cfg.control_latency with
+      | Fixed ms -> ms
+      | Normal_dist _ -> 0.0 (* sampled per message instead *)
+      | Geo ->
+        if node = topo.Topologies.controller then 0.05
+        else (
+          match Graph.shortest_path g ~src:topo.Topologies.controller ~dst:node with
+          | Some path -> Graph.path_latency g path
+          | None -> invalid_arg "Netsim: controller cannot reach every node"))
+
+let create ?(config = default_config) sim topo =
+  let g = topo.Topologies.graph in
+  let n = Graph.node_count g in
+  let ports = Array.init n (fun node -> Array.of_list (Graph.neighbors g node)) in
+  {
+    sim;
+    topo;
+    cfg = config;
+    ports;
+    handlers = Array.make n (fun _ -> ());
+    controller_handler = None;
+    data_fault = None;
+    observers = [];
+    ctl_latency = compute_ctl_latencies topo config;
+    controller_busy_until = 0.0;
+    stats =
+      {
+        data_packets = 0;
+        control_to_switch = 0;
+        control_to_controller = 0;
+        resubmissions = 0;
+        dropped_by_fault = 0;
+      };
+  }
+
+let sim t = t.sim
+let topology t = t.topo
+let graph t = t.topo.Topologies.graph
+let config t = t.cfg
+let counters t = t.stats
+
+let port_count t ~node = Array.length t.ports.(node)
+
+let neighbor_of_port t ~node ~port =
+  if port < 0 || port >= Array.length t.ports.(node) then None
+  else Some t.ports.(node).(port)
+
+let port_of_neighbor t ~node ~neighbor =
+  let arr = t.ports.(node) in
+  let rec find i =
+    if i >= Array.length arr then
+      invalid_arg
+        (Printf.sprintf "Netsim.port_of_neighbor: %d is not adjacent to %d" neighbor node)
+    else if arr.(i) = neighbor then i
+    else find (i + 1)
+  in
+  find 0
+
+let attach t ~node handler = t.handlers.(node) <- handler
+let set_controller t handler = t.controller_handler <- Some handler
+let set_data_fault t hook = t.data_fault <- Some hook
+let clear_data_fault t = t.data_fault <- None
+let on_delivery t f = t.observers <- t.observers @ [ f ]
+
+let sample_ctl_latency t ~node =
+  match t.cfg.control_latency with
+  | Normal_dist { mean; stddev } -> Sim.normal t.sim ~mean ~stddev
+  | Geo | Fixed _ -> t.ctl_latency.(node)
+
+let control_latency_of t ~node = sample_ctl_latency t ~node
+
+let corrupt_bytes rng bytes =
+  let b = Bytes.copy bytes in
+  if Bytes.length b > 0 then begin
+    let i = Random.State.int rng (Bytes.length b) in
+    let bit = 1 lsl Random.State.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit))
+  end;
+  b
+
+let deliver_data t ~node ~port bytes delay =
+  Sim.schedule t.sim ~delay (fun () ->
+      t.stats.data_packets <- t.stats.data_packets + 1;
+      List.iter (fun f -> f (Sim.now t.sim) node port bytes) t.observers;
+      t.handlers.(node) (Data { port; bytes }))
+
+let transmit t ~from ~port bytes =
+  match neighbor_of_port t ~node:from ~port with
+  | None -> () (* unbound port: packet leaves the modelled network *)
+  | Some neighbor ->
+    let link = Graph.latency (graph t) from neighbor in
+    let delay = link +. t.cfg.switch_processing_ms in
+    let rx_port = port_of_neighbor t ~node:neighbor ~neighbor:from in
+    let action =
+      match t.data_fault with
+      | None -> Deliver
+      | Some hook -> hook ~from ~to_:neighbor bytes
+    in
+    (match action with
+     | Deliver -> deliver_data t ~node:neighbor ~port:rx_port bytes delay
+     | Drop -> t.stats.dropped_by_fault <- t.stats.dropped_by_fault + 1
+     | Delay extra -> deliver_data t ~node:neighbor ~port:rx_port bytes (delay +. extra)
+     | Corrupt ->
+       deliver_data t ~node:neighbor ~port:rx_port (corrupt_bytes (Sim.rng t.sim) bytes) delay
+     | Duplicate ->
+       deliver_data t ~node:neighbor ~port:rx_port bytes delay;
+       deliver_data t ~node:neighbor ~port:rx_port bytes (delay +. 0.01))
+
+let resubmit t ~node bytes =
+  t.stats.resubmissions <- t.stats.resubmissions + 1;
+  Sim.schedule t.sim ~delay:t.cfg.resubmit_delay_ms (fun () ->
+      t.handlers.(node) (Data { port = -1; bytes }))
+
+(* The controller is a single-thread FIFO server: each message (in either
+   direction) occupies it for [controller_service_ms]. *)
+let controller_slot t =
+  let now = Sim.now t.sim in
+  let background =
+    if t.cfg.controller_background_ms <= 0.0 then 0.0
+    else Sim.exponential t.sim ~mean:t.cfg.controller_background_ms
+  in
+  let start = Float.max now t.controller_busy_until in
+  t.controller_busy_until <- start +. t.cfg.controller_service_ms +. background;
+  t.controller_busy_until -. now
+
+let notify_controller t ~from bytes =
+  t.stats.control_to_controller <- t.stats.control_to_controller + 1;
+  let uplink = sample_ctl_latency t ~node:from in
+  Sim.schedule t.sim ~delay:uplink (fun () ->
+      let service_done = controller_slot t in
+      Sim.schedule t.sim ~delay:service_done (fun () ->
+          match t.controller_handler with
+          | Some handler -> handler ~from bytes
+          | None -> ()))
+
+let controller_transmit t ~to_ bytes =
+  t.stats.control_to_switch <- t.stats.control_to_switch + 1;
+  let service_done = controller_slot t in
+  let downlink = sample_ctl_latency t ~node:to_ in
+  Sim.schedule t.sim ~delay:(service_done +. downlink +. t.cfg.switch_processing_ms)
+    (fun () -> t.handlers.(to_) (From_controller bytes))
+
+let rule_update_delay t ~node =
+  ignore node;
+  match t.cfg.rule_update_mean_ms with
+  | None -> 0.0
+  | Some mean -> Sim.exponential t.sim ~mean

@@ -1,0 +1,115 @@
+(** Network emulation layer — the stand-in for Mininet + veth links.
+
+    A network instantiates the topology over a {!Dessim.Sim} event loop.
+    Each node hosts a device (a P4 pipeline for P4Update, a plain local
+    agent for the baselines) attached via {!attach}.  Ports of a node are
+    numbered [0 .. degree-1] in the order of [Graph.neighbors]; the
+    controller is reachable through a dedicated control channel rather
+    than a data port.
+
+    The control channel models the paper's setup (§9.1, §9.2): for WANs
+    the controller sits at a topology node and the per-switch control
+    latency is the shortest-path latency to it; for the fat-tree the
+    latency is drawn from a normal distribution; the controller itself is
+    a single-threaded FIFO server, so every control message also pays
+    queueing plus processing delay (Jarschel-style model [40]). *)
+
+type t
+
+type control_latency =
+  | Geo  (** shortest-path latency from the controller node *)
+  | Normal_dist of { mean : float; stddev : float }
+  | Fixed of float
+
+type config = {
+  switch_processing_ms : float;
+      (** per-packet processing time in the data plane *)
+  rule_update_mean_ms : float option;
+      (** when set, applying a forwarding-rule change costs an additional
+          Exp(mean) delay (the Dionysus-style straggler model of §9.1) *)
+  resubmit_delay_ms : float;
+      (** cost of one resubmission loop iteration (§8) *)
+  control_latency : control_latency;
+  controller_service_ms : float;
+      (** controller per-message service time (queueing server) *)
+  controller_background_ms : float;
+      (** mean of an additional exponential queueing delay per control
+          message, modelling the controller's background load ([40]);
+          0 disables it *)
+}
+
+val default_config : config
+
+(** Action returned by a fault hook for a packet in flight. *)
+type fault = Deliver | Drop | Delay of float | Corrupt | Duplicate
+
+type event =
+  | Data of { port : int; bytes : Bytes.t }  (** data-plane arrival *)
+  | From_controller of Bytes.t               (** control-plane downlink *)
+
+val create : ?config:config -> Dessim.Sim.t -> Topo.Topologies.t -> t
+
+val sim : t -> Dessim.Sim.t
+val topology : t -> Topo.Topologies.t
+val graph : t -> Topo.Graph.t
+val config : t -> config
+
+(** {2 Port numbering} *)
+
+val port_count : t -> node:int -> int
+val neighbor_of_port : t -> node:int -> port:int -> int option
+val port_of_neighbor : t -> node:int -> neighbor:int -> int
+
+(** {2 Devices} *)
+
+(** [attach t ~node handler] installs the device of [node].  Re-attaching
+    replaces the handler. *)
+val attach : t -> node:int -> (event -> unit) -> unit
+
+(** [set_controller t handler] installs the controller message handler
+    ([handler ~from bytes]). *)
+val set_controller : t -> (from:int -> Bytes.t -> unit) -> unit
+
+(** {2 Transmission} *)
+
+(** [transmit t ~from ~port bytes] sends on a data link; delivery occurs
+    after link propagation latency plus the receiver's processing time. *)
+val transmit : t -> from:int -> port:int -> Bytes.t -> unit
+
+(** Loopback re-injection after [resubmit_delay_ms] (BMv2 resubmit). *)
+val resubmit : t -> node:int -> Bytes.t -> unit
+
+(** Switch-to-controller message (FRM/UFM). *)
+val notify_controller : t -> from:int -> Bytes.t -> unit
+
+(** Controller-to-switch message (UIM, rule installation).  Serialized
+    through the controller's FIFO server. *)
+val controller_transmit : t -> to_:int -> Bytes.t -> unit
+
+(** Extra per-switch latency for applying a rule update; draws from the
+    straggler distribution when configured, else 0. *)
+val rule_update_delay : t -> node:int -> float
+
+(** {2 Fault injection (data-plane links)} *)
+
+val set_data_fault : t -> (from:int -> to_:int -> Bytes.t -> fault) -> unit
+val clear_data_fault : t -> unit
+
+(** {2 Observation} *)
+
+(** [on_delivery t f] registers an observer called at every data-plane
+    delivery with [(time, node, port, bytes)] before the device runs. *)
+val on_delivery : t -> (float -> int -> int -> Bytes.t -> unit) -> unit
+
+type counters = {
+  mutable data_packets : int;
+  mutable control_to_switch : int;
+  mutable control_to_controller : int;
+  mutable resubmissions : int;
+  mutable dropped_by_fault : int;
+}
+
+val counters : t -> counters
+
+(** Per-switch control-plane latency used by this network (for analysis). *)
+val control_latency_of : t -> node:int -> float

@@ -1,0 +1,1 @@
+lib/p4rt/bitval.mli: Format

@@ -1,0 +1,1 @@
+lib/p4rt/header.ml: Array Bitval Bytes Char Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/p4rt/header.mli: Bitval Bytes Format

@@ -1,0 +1,1 @@
+lib/p4rt/packet.ml: Bytes Format Header List Option

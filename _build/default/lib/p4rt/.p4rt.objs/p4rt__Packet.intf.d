@@ -1,0 +1,1 @@
+lib/p4rt/packet.mli: Bytes Format Header

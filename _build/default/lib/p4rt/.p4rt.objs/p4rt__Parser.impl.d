@@ -1,0 +1,1 @@
+lib/p4rt/parser.ml: Bytes Header List Packet Printf

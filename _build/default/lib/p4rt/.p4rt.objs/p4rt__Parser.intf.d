@@ -1,0 +1,1 @@
+lib/p4rt/parser.mli: Bytes Header Packet

@@ -1,0 +1,1 @@
+lib/p4rt/pipeline.ml: Bytes Hashtbl List Option Packet Parser Printf Register Table

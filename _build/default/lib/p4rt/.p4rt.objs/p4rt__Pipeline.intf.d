@@ -1,0 +1,1 @@
+lib/p4rt/pipeline.mli: Bytes Packet Parser Register Table

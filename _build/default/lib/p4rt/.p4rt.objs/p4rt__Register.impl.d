@@ -1,0 +1,1 @@
+lib/p4rt/register.ml: Array Bitval Printf

@@ -1,0 +1,1 @@
+lib/p4rt/table.ml: List Printf

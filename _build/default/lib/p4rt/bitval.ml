@@ -1,0 +1,41 @@
+type t = { width : int; value : int }
+
+let check_width width =
+  if width < 1 || width > 62 then
+    invalid_arg (Printf.sprintf "Bitval: width %d outside [1, 62]" width)
+
+let mask width = (1 lsl width) - 1
+
+let make ~width v =
+  check_width width;
+  if v < 0 then invalid_arg "Bitval.make: negative value";
+  { width; value = v land mask width }
+
+let zero ~width = make ~width 0
+let value t = t.value
+let width t = t.width
+
+let check_same a b op =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bitval.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let add a b =
+  check_same a b "add";
+  { a with value = (a.value + b.value) land mask a.width }
+
+let sub a b =
+  check_same a b "sub";
+  { a with value = (a.value - b.value) land mask a.width }
+
+let succ a = add a { a with value = 1 }
+let equal a b = a.width = b.width && a.value = b.value
+
+let compare a b =
+  check_same a b "compare";
+  Stdlib.compare a.value b.value
+
+let max_value ~width =
+  check_width width;
+  mask width
+
+let pp fmt t = Format.fprintf fmt "%d<%dw>" t.value t.width

@@ -1,0 +1,29 @@
+(** Width-bounded unsigned integers — the value model of P4 [bit<W>] types.
+
+    Arithmetic wraps around modulo 2^width, as in P4.  Widths from 1 to 62
+    bits are supported (values are stored in an OCaml [int]). *)
+
+type t = private { width : int; value : int }
+
+(** [make ~width v] truncates [v] to [width] bits.  Raises
+    [Invalid_argument] for widths outside \[1, 62\] or negative [v]. *)
+val make : width:int -> int -> t
+
+val zero : width:int -> t
+val value : t -> int
+val width : t -> int
+
+(** Wrapping addition/subtraction; both operands must share a width. *)
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [succ v] is [add v (make ~width 1)]. *)
+val succ : t -> t
+
+val equal : t -> t -> bool
+
+(** Unsigned comparison; widths must match. *)
+val compare : t -> t -> int
+
+val max_value : width:int -> int
+val pp : Format.formatter -> t -> unit

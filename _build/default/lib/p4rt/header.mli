@@ -1,0 +1,46 @@
+(** Header schemas and instances — the header model of P4.
+
+    A schema names an ordered list of fields with bit widths.  An instance
+    binds every field to a value and carries a validity bit (P4's
+    [setValid]/[setInvalid]).  Instances serialize MSB-first into bytes; a
+    schema whose total width is not byte-aligned is rejected at definition
+    time, mirroring common P4 target constraints. *)
+
+type schema
+
+type inst
+
+(** [define ~name fields] creates a schema.  Raises [Invalid_argument] on
+    empty or duplicate field names, widths outside \[1, 62\], or a total
+    bit width not divisible by 8. *)
+val define : name:string -> (string * int) list -> schema
+
+val schema_name : schema -> string
+val byte_size : schema -> int
+val fields : schema -> (string * int) list
+
+(** Fresh all-zero valid instance. *)
+val make : schema -> inst
+
+val schema_of : inst -> schema
+val is_valid : inst -> bool
+val set_valid : inst -> bool -> inst
+
+(** [get inst field] / [set inst field v]: field access by name.  [set]
+    truncates to the field width.  Raise [Invalid_argument] on unknown
+    fields. *)
+val get : inst -> string -> int
+val set : inst -> string -> int -> inst
+
+val get_bv : inst -> string -> Bitval.t
+
+(** Serialize into [bytes] at [offset]; returns the next offset.  Invalid
+    instances emit nothing. *)
+val emit : inst -> Bytes.t -> int -> int
+
+(** [extract schema buf offset] parses one instance; returns it (valid)
+    and the next offset.  Raises [Invalid_argument] if the buffer is too
+    short. *)
+val extract : schema -> Bytes.t -> int -> inst * int
+
+val pp : Format.formatter -> inst -> unit

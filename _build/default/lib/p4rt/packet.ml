@@ -1,0 +1,58 @@
+type t = {
+  headers : Header.inst list;
+  payload : Bytes.t;
+}
+
+let make ?(payload = Bytes.empty) headers = { headers; payload }
+
+let header pkt name =
+  List.find_opt
+    (fun h -> Header.is_valid h && Header.schema_name (Header.schema_of h) = name)
+    pkt.headers
+
+let has_header pkt name = Option.is_some (header pkt name)
+
+let with_header pkt inst =
+  let name = Header.schema_name (Header.schema_of inst) in
+  let rec replace = function
+    | [] -> None
+    | h :: rest ->
+      if Header.schema_name (Header.schema_of h) = name then Some (inst :: rest)
+      else Option.map (fun r -> h :: r) (replace rest)
+  in
+  match replace pkt.headers with
+  | Some headers -> { pkt with headers }
+  | None -> { pkt with headers = pkt.headers @ [ inst ] }
+
+let remove_header pkt name =
+  let rec drop = function
+    | [] -> []
+    | h :: rest ->
+      if Header.schema_name (Header.schema_of h) = name then rest else h :: drop rest
+  in
+  { pkt with headers = drop pkt.headers }
+
+let update pkt name f =
+  match header pkt name with
+  | None -> pkt
+  | Some inst -> with_header pkt (f inst)
+
+let wire_size pkt =
+  List.fold_left
+    (fun acc h -> if Header.is_valid h then acc + Header.byte_size (Header.schema_of h) else acc)
+    (Bytes.length pkt.payload) pkt.headers
+
+let serialize pkt =
+  let buf = Bytes.make (wire_size pkt) '\000' in
+  let offset =
+    List.fold_left
+      (fun off h -> if Header.is_valid h then Header.emit h buf off else off)
+      0 pkt.headers
+  in
+  Bytes.blit pkt.payload 0 buf offset (Bytes.length pkt.payload);
+  buf
+
+let pp fmt pkt =
+  Format.fprintf fmt "@[<v>packet (%d bytes):@," (wire_size pkt);
+  List.iter (fun h -> Format.fprintf fmt "  %a@," Header.pp h) pkt.headers;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,36 @@
+(** Packets: an ordered stack of header instances plus an opaque payload.
+
+    The deparser serializes valid headers in stack order followed by the
+    payload; a parse specification (ordered schema list with a select
+    function) rebuilds the stack from bytes. *)
+
+type t = {
+  headers : Header.inst list;
+  payload : Bytes.t;
+}
+
+val make : ?payload:Bytes.t -> Header.inst list -> t
+
+(** [header pkt name] is the first valid instance of schema [name]. *)
+val header : t -> string -> Header.inst option
+
+val has_header : t -> string -> bool
+
+(** [with_header pkt inst] replaces the first instance of the same schema,
+    or pushes [inst] on top of the stack if absent. *)
+val with_header : t -> Header.inst -> t
+
+(** [remove_header pkt name] drops the first instance of schema [name]. *)
+val remove_header : t -> string -> t
+
+(** [update pkt name f] applies [f] to the first valid instance of schema
+    [name].  No-op if the header is absent. *)
+val update : t -> string -> (Header.inst -> Header.inst) -> t
+
+(** Deparser: valid headers in order, then the payload. *)
+val serialize : t -> Bytes.t
+
+(** Total wire size in bytes. *)
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

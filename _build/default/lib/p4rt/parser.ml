@@ -1,0 +1,75 @@
+type next =
+  | Accept
+  | Goto of string
+  | Select of string * (int * string) list * next
+
+type state = {
+  state_name : string;
+  extracts : Header.schema option;
+  transition : next;
+}
+
+type t = { states : (string * state) list }
+
+exception Parse_error of string
+
+let rec targets_of = function
+  | Accept -> []
+  | Goto s -> [ s ]
+  | Select (_, cases, default) -> List.map snd cases @ targets_of default
+
+let create states =
+  if not (List.exists (fun s -> s.state_name = "start") states) then
+    invalid_arg "Parser.create: no start state";
+  let known name = List.exists (fun s -> s.state_name = name) states in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun target ->
+          if not (known target) then
+            invalid_arg
+              (Printf.sprintf "Parser.create: state %s targets unknown state %s" s.state_name
+                 target))
+        (targets_of s.transition))
+    states;
+  { states = List.map (fun s -> (s.state_name, s)) states }
+
+let run parser bytes =
+  let rec step state_name offset headers visits =
+    if visits > 64 then raise (Parse_error "state visit budget exceeded");
+    let state =
+      match List.assoc_opt state_name parser.states with
+      | Some s -> s
+      | None -> raise (Parse_error ("unknown state " ^ state_name))
+    in
+    let extracted, offset =
+      match state.extracts with
+      | None -> (None, offset)
+      | Some schema ->
+        (try
+           let inst, next = Header.extract schema bytes offset in
+           (Some inst, next)
+         with Invalid_argument msg -> raise (Parse_error msg))
+    in
+    let headers = match extracted with None -> headers | Some h -> h :: headers in
+    let rec decide = function
+      | Accept -> (None, offset, headers)
+      | Goto s -> (Some s, offset, headers)
+      | Select (field, cases, default) ->
+        let inst =
+          match extracted with
+          | Some h -> h
+          | None -> raise (Parse_error "select without extraction")
+        in
+        let v = Header.get inst field in
+        (match List.assoc_opt v cases with
+         | Some target -> (Some target, offset, headers)
+         | None -> decide default)
+    in
+    match decide state.transition with
+    | None, offset, headers -> (offset, headers)
+    | Some target, offset, headers -> step target offset headers (visits + 1)
+  in
+  let offset, headers = step "start" 0 [] 0 in
+  let payload = Bytes.sub bytes offset (Bytes.length bytes - offset) in
+  Packet.make ~payload (List.rev headers)

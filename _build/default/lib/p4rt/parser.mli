@@ -1,0 +1,32 @@
+(** P4-style parse graph: states extract a header and select the next
+    state on a field of the header just extracted.
+
+    A parser is a list of named states.  Parsing starts at ["start"] and
+    ends when a state selects [Accept].  The bytes remaining after the
+    final extraction become the payload. *)
+
+type next =
+  | Accept
+  | Goto of string
+  | Select of string * (int * string) list * next
+      (** [Select (field, cases, default)]: branch on the value of [field]
+          of the header extracted in this state. *)
+
+type state = {
+  state_name : string;
+  extracts : Header.schema option;  (** [None]: extract nothing *)
+  transition : next;
+}
+
+type t
+
+(** Raises [Invalid_argument] when no ["start"] state exists or a
+    transition targets an unknown state. *)
+val create : state list -> t
+
+exception Parse_error of string
+
+(** [run parser bytes] parses a packet.  Raises [Parse_error] on truncated
+    input or a select value with no matching case and a [Goto] default
+    that loops forever (cycles are cut after 64 state visits). *)
+val run : t -> Bytes.t -> Packet.t

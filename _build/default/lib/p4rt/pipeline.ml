@@ -1,0 +1,138 @@
+type instance_kind = Normal | Cloned | Resubmitted
+
+type ctx = {
+  mutable pkt : Packet.t;
+  in_port : int;
+  kind : instance_kind;
+  meta : (string, int) Hashtbl.t;
+  mutable egress : int option;
+  mutable dropped : bool;
+  mutable clones : int list; (* clone sessions requested during ingress *)
+  mutable wants_resubmit : bool;
+  mutable digests : Packet.t list;
+}
+
+type program = {
+  prog_parser : Parser.t;
+  prog_ingress : ctx -> unit;
+  prog_egress : ctx -> unit;
+}
+
+type t = {
+  pipe_name : string;
+  program : program;
+  registers : (string, Register.t) Hashtbl.t;
+  tables : (string, Table.t) Hashtbl.t;
+  clone_sessions : (int, int) Hashtbl.t;
+}
+
+type emission = { out_port : int; bytes : Bytes.t }
+
+type outcome = {
+  emissions : emission list;
+  resubmitted : Packet.t option;
+  to_controller : Packet.t list;
+}
+
+let create ~name ~registers ~tables program =
+  let reg_table = Hashtbl.create 16 and tab_table = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace reg_table (Register.name r) r) registers;
+  List.iter (fun tb -> Hashtbl.replace tab_table (Table.name tb) tb) tables;
+  {
+    pipe_name = name;
+    program;
+    registers = reg_table;
+    tables = tab_table;
+    clone_sessions = Hashtbl.create 8;
+  }
+
+let name t = t.pipe_name
+
+let packet ctx = ctx.pkt
+let set_packet ctx pkt = ctx.pkt <- pkt
+let ingress_port ctx = ctx.in_port
+let instance ctx = ctx.kind
+
+let meta_get ctx key = Option.value (Hashtbl.find_opt ctx.meta key) ~default:0
+let meta_set ctx key v = Hashtbl.replace ctx.meta key v
+
+let set_egress ctx port =
+  ctx.egress <- Some port;
+  ctx.dropped <- false
+
+let egress_spec ctx = ctx.egress
+
+let mark_to_drop ctx =
+  ctx.dropped <- true;
+  ctx.egress <- None
+
+let clone ctx ~session = ctx.clones <- ctx.clones @ [ session ]
+let resubmit ctx = ctx.wants_resubmit <- true
+let digest ctx = ctx.digests <- ctx.digests @ [ ctx.pkt ]
+
+let register t reg_name =
+  match Hashtbl.find_opt t.registers reg_name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Pipeline(%s): unknown register %s" t.pipe_name reg_name)
+
+let table t table_name =
+  match Hashtbl.find_opt t.tables table_name with
+  | Some tb -> tb
+  | None -> invalid_arg (Printf.sprintf "Pipeline(%s): unknown table %s" t.pipe_name table_name)
+
+let set_clone_session t ~session ~port = Hashtbl.replace t.clone_sessions session port
+
+let fresh_ctx pkt ~in_port ~kind =
+  {
+    pkt;
+    in_port;
+    kind;
+    meta = Hashtbl.create 8;
+    egress = None;
+    dropped = false;
+    clones = [];
+    wants_resubmit = false;
+    digests = [];
+  }
+
+let process t ~ingress_port ?(instance = Normal) bytes =
+  match Parser.run t.program.prog_parser bytes with
+  | exception Parser.Parse_error _ ->
+    { emissions = []; resubmitted = None; to_controller = [] }
+  | parsed ->
+    let ctx = fresh_ctx parsed ~in_port:ingress_port ~kind:instance in
+    t.program.prog_ingress ctx;
+    let resubmitted = if ctx.wants_resubmit then Some ctx.pkt else None in
+    (* Clones are snapshotted at the end of ingress, as with BMv2's
+       clone3 from the ingress pipeline. *)
+    let clone_jobs =
+      List.filter_map
+        (fun session ->
+          match Hashtbl.find_opt t.clone_sessions session with
+          | Some port -> Some (port, ctx.pkt)
+          | None -> None)
+        ctx.clones
+    in
+    let digests = ref ctx.digests in
+    let run_egress ~kind ~port pkt =
+      let ectx = fresh_ctx pkt ~in_port:ingress_port ~kind in
+      ectx.egress <- Some port;
+      t.program.prog_egress ectx;
+      digests := !digests @ ectx.digests;
+      if ectx.dropped then None
+      else
+        Option.map (fun p -> { out_port = p; bytes = Packet.serialize ectx.pkt }) ectx.egress
+    in
+    let main_emission =
+      match (ctx.dropped, ctx.egress) with
+      | true, _ | _, None -> None
+      | false, Some port -> run_egress ~kind:ctx.kind ~port ctx.pkt
+    in
+    let clone_emissions =
+      List.filter_map (fun (port, pkt) -> run_egress ~kind:Cloned ~port pkt) clone_jobs
+    in
+    {
+      emissions = Option.to_list main_emission @ clone_emissions;
+      resubmitted;
+      to_controller = !digests;
+    }

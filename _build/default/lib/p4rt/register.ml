@@ -1,0 +1,32 @@
+type t = {
+  reg_name : string;
+  cell_width : int;
+  cells : int array;
+}
+
+let create ~name ~width ~size =
+  if width < 1 || width > 62 then invalid_arg "Register.create: width outside [1, 62]";
+  if size < 1 then invalid_arg "Register.create: size must be positive";
+  { reg_name = name; cell_width = width; cells = Array.make size 0 }
+
+let name t = t.reg_name
+let size t = Array.length t.cells
+let width t = t.cell_width
+
+let check t i op =
+  if i < 0 || i >= Array.length t.cells then
+    invalid_arg
+      (Printf.sprintf "Register.%s(%s): index %d outside [0, %d)" op t.reg_name i
+         (Array.length t.cells))
+
+let read t i =
+  check t i "read";
+  t.cells.(i)
+
+let write t i v =
+  check t i "write";
+  t.cells.(i) <- v land ((1 lsl t.cell_width) - 1)
+
+let read_bv t i = Bitval.make ~width:t.cell_width (read t i)
+let clear t = Array.fill t.cells 0 (Array.length t.cells) 0
+let dump t = Array.copy t.cells

@@ -1,0 +1,114 @@
+type match_kind = Exact | Ternary | Lpm
+
+type pattern =
+  | P_exact of int
+  | P_ternary of int * int
+  | P_lpm of int * int
+  | P_any
+
+type entry = {
+  patterns : pattern list;
+  action_name : string;
+  action_data : int list;
+  priority : int;
+}
+
+type result = {
+  hit : bool;
+  action : string;
+  data : int list;
+}
+
+type t = {
+  table_name : string;
+  keys : (string * match_kind) list;
+  default_action : string;
+  default_data : int list;
+  mutable entries : (int * entry) list; (* insertion index, entry *)
+  mutable next_index : int;
+}
+
+let create ~name ~keys ~default_action ?(default_data = []) () =
+  if keys = [] then invalid_arg "Table.create: no keys";
+  {
+    table_name = name;
+    keys;
+    default_action;
+    default_data;
+    entries = [];
+    next_index = 0;
+  }
+
+let name t = t.table_name
+let key_labels t = List.map fst t.keys
+
+let pattern_suits kind pattern =
+  match (kind, pattern) with
+  | _, P_any -> true
+  | Exact, P_exact _ -> true
+  | Ternary, P_ternary _ -> true
+  | Lpm, P_lpm _ -> true
+  | (Exact | Ternary | Lpm), _ -> false
+
+let add_entry t entry =
+  if List.length entry.patterns <> List.length t.keys then
+    invalid_arg (Printf.sprintf "Table.add_entry(%s): pattern arity mismatch" t.table_name);
+  List.iter2
+    (fun (label, kind) pattern ->
+      if not (pattern_suits kind pattern) then
+        invalid_arg
+          (Printf.sprintf "Table.add_entry(%s): pattern for key %s has wrong match kind"
+             t.table_name label))
+    t.keys entry.patterns;
+  t.entries <- (t.next_index, entry) :: t.entries;
+  t.next_index <- t.next_index + 1
+
+let clear t = t.entries <- []
+let entry_count t = List.length t.entries
+
+let pattern_matches pattern value =
+  match pattern with
+  | P_any -> true
+  | P_exact v -> v = value
+  | P_ternary (v, mask) -> v land mask = value land mask
+  | P_lpm (v, prefix_len) ->
+    if prefix_len = 0 then true
+    else
+      let shift = 62 - prefix_len in
+      v lsr shift = value lsr shift
+
+let lpm_specificity patterns =
+  List.fold_left
+    (fun acc p -> match p with P_lpm (_, len) -> acc + len | _ -> acc)
+    0 patterns
+
+let apply t key_values =
+  if List.length key_values <> List.length t.keys then
+    invalid_arg (Printf.sprintf "Table.apply(%s): key arity mismatch" t.table_name);
+  let hits =
+    List.filter
+      (fun (_, entry) -> List.for_all2 pattern_matches entry.patterns key_values)
+      t.entries
+  in
+  let best =
+    List.fold_left
+      (fun acc (index, entry) ->
+        match acc with
+        | None -> Some (index, entry)
+        | Some (best_index, best_entry) ->
+          let cmp =
+            match compare entry.priority best_entry.priority with
+            | 0 -> (
+              match
+                compare (lpm_specificity entry.patterns) (lpm_specificity best_entry.patterns)
+              with
+              | 0 -> compare best_index index (* earlier insertion wins *)
+              | n -> n)
+            | n -> n
+          in
+          if cmp > 0 then Some (index, entry) else acc)
+      None hits
+  in
+  match best with
+  | Some (_, entry) -> { hit = true; action = entry.action_name; data = entry.action_data }
+  | None -> { hit = false; action = t.default_action; data = t.default_data }

@@ -1,0 +1,55 @@
+(** Match-action tables.
+
+    A table declares a list of match keys (each a name and a match kind)
+    and a set of runtime-installed entries binding key patterns to an
+    action name plus action data.  Lookup follows P4 semantics: exact and
+    LPM keys narrow candidates, ternary matches honour masks, and among
+    multiple hits the highest-priority entry wins (then longest prefix,
+    then insertion order). *)
+
+type match_kind = Exact | Ternary | Lpm
+
+type pattern =
+  | P_exact of int
+  | P_ternary of int * int  (** value, mask *)
+  | P_lpm of int * int      (** value, prefix length in bits *)
+  | P_any
+
+type entry = {
+  patterns : pattern list;
+  action_name : string;
+  action_data : int list;
+  priority : int;
+}
+
+type result = {
+  hit : bool;
+  action : string;
+  data : int list;
+}
+
+type t
+
+(** [create ~name ~keys ~default_action ?default_data ()] — [keys] pairs a
+    key label with its match kind. *)
+val create :
+  name:string ->
+  keys:(string * match_kind) list ->
+  default_action:string ->
+  ?default_data:int list ->
+  unit ->
+  t
+
+val name : t -> string
+val key_labels : t -> string list
+
+(** [add_entry table entry] — pattern count must equal key count and each
+    pattern must suit its key's match kind ([P_any] suits all). *)
+val add_entry : t -> entry -> unit
+
+val clear : t -> unit
+val entry_count : t -> int
+
+(** [apply table key_values] looks up the key vector (one value per key,
+    in declaration order). *)
+val apply : t -> int list -> result

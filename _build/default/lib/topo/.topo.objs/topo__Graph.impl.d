@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Array Float Format Hashtbl List Printf Queue

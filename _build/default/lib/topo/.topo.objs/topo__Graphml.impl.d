@@ -1,0 +1,1 @@
+lib/topo/graphml.ml: Array Buffer Float Graph Hashtbl List Option Printf String Topologies

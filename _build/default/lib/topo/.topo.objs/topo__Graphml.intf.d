@@ -1,0 +1,1 @@
+lib/topo/graphml.mli: Topologies

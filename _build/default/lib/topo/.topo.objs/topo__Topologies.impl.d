@@ -1,0 +1,1 @@
+lib/topo/topologies.ml: Array Float Graph List Printf

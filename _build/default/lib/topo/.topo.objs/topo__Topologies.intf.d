@@ -1,0 +1,1 @@
+lib/topo/topologies.mli: Graph

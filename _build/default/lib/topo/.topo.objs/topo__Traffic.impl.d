@@ -1,0 +1,1 @@
+lib/topo/traffic.ml: Array Float Fun Graph Hashtbl List Option Random

@@ -1,0 +1,1 @@
+lib/topo/traffic.mli: Graph Random

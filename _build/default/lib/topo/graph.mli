@@ -1,0 +1,74 @@
+(** Undirected weighted graph with integer node ids [0 .. node_count - 1].
+
+    Edges carry a latency (milliseconds, used for propagation delay) and a
+    capacity (abstract units, used for congestion freedom).  The graph is
+    undirected topologically, but capacity is tracked per direction by the
+    network layer; here we expose symmetric structure only. *)
+
+type t
+
+type edge = {
+  u : int;
+  v : int;
+  latency_ms : float;
+  capacity : float;
+}
+
+(** [create n] makes a graph with [n] isolated nodes. *)
+val create : int -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+
+(** [add_edge g ~u ~v ~latency_ms ~capacity] inserts an undirected edge.
+    Raises [Invalid_argument] on self-loops, out-of-range ids or duplicate
+    edges. *)
+val add_edge : t -> u:int -> v:int -> latency_ms:float -> capacity:float -> unit
+
+val has_edge : t -> int -> int -> bool
+
+(** [latency g u v] is the latency of edge [u–v].  Raises [Not_found] if
+    the edge does not exist. *)
+val latency : t -> int -> int -> float
+
+val capacity : t -> int -> int -> float
+
+(** [set_capacity g u v cap] overrides the capacity of edge [u–v] (both
+    directions).  Raises [Not_found] if the edge does not exist. *)
+val set_capacity : t -> int -> int -> float -> unit
+
+(** Neighbours of a node, in insertion order. *)
+val neighbors : t -> int -> int list
+
+val edges : t -> edge list
+
+(** [is_connected g] checks global connectivity via BFS from node 0
+    (vacuously true for the empty graph). *)
+val is_connected : t -> bool
+
+(** [shortest_path g ~src ~dst] is the minimum-latency path as a node list
+    [src; ...; dst], or [None] if unreachable.  Dijkstra with lexicographic
+    (latency, hop-count, node-id) tie-breaking for determinism. *)
+val shortest_path : t -> src:int -> dst:int -> int list option
+
+(** [k_shortest_paths g ~src ~dst ~k] are up to [k] loop-free paths in
+    non-decreasing latency order (Yen's algorithm). *)
+val k_shortest_paths : t -> src:int -> dst:int -> k:int -> int list list
+
+(** Total latency along a node path.  Raises [Not_found] if a hop is not an
+    edge. *)
+val path_latency : t -> int list -> float
+
+(** [path_is_valid g p] checks that consecutive nodes are adjacent and the
+    path is simple (no repeated node). *)
+val path_is_valid : t -> int list -> bool
+
+(** [centroid g] is the node minimizing its maximum shortest-path latency
+    to any other node (used to place the controller, §9.1). *)
+val centroid : t -> int
+
+(** [hop_distances g ~dst] is the array of hop counts to [dst] (BFS);
+    [max_int] where unreachable. *)
+val hop_distances : t -> dst:int -> int array
+
+val pp : Format.formatter -> t -> unit

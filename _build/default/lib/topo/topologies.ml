@@ -1,0 +1,271 @@
+type kind = Wan | Datacenter | Synthetic
+
+type t = {
+  name : string;
+  kind : kind;
+  graph : Graph.t;
+  node_names : string array;
+  controller : int;
+}
+
+let earth_radius_km = 6371.0
+
+let haversine_km (lat1, lon1) (lat2, lon2) =
+  let rad d = d *. Float.pi /. 180.0 in
+  let dlat = rad (lat2 -. lat1) and dlon = rad (lon2 -. lon1) in
+  let a =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (rad lat1) *. cos (rad lat2) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. asin (sqrt (Float.min 1.0 a))
+
+(* Speed of light in fibre: 2*10^5 km/s = 200 km per millisecond (§9.1). *)
+let geo_latency_ms p1 p2 = haversine_km p1 p2 /. 200.0
+
+let default_capacity = 10.0
+
+let build_geo ~name ~kind ~sites ~links =
+  let n = Array.length sites in
+  let graph = Graph.create n in
+  List.iter
+    (fun (u, v) ->
+      let _, cu = sites.(u) and _, cv = sites.(v) in
+      let latency_ms = Float.max 0.1 (geo_latency_ms cu cv) in
+      Graph.add_edge graph ~u ~v ~latency_ms ~capacity:default_capacity)
+    links;
+  assert (Graph.is_connected graph);
+  {
+    name;
+    kind;
+    graph;
+    node_names = Array.map fst sites;
+    controller = Graph.centroid graph;
+  }
+
+let build_uniform ~name ~kind ~node_names ~latency_ms ~links ~controller =
+  let n = Array.length node_names in
+  let graph = Graph.create n in
+  List.iter
+    (fun (u, v) -> Graph.add_edge graph ~u ~v ~latency_ms ~capacity:default_capacity)
+    links;
+  assert (Graph.is_connected graph);
+  { name; kind; graph; node_names; controller }
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic topologies used by the paper's scenarios.                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_old_path = [ 0; 4; 2; 7 ]
+let fig1_new_path = [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let fig1 () =
+  let node_names = Array.init 8 (fun i -> Printf.sprintf "v%d" i) in
+  (* Union of the old path (v0,v4,v2,v7) and the new path (v0,...,v7);
+     homogeneous 20 ms links as in §9.1. *)
+  let links =
+    [ (0, 4); (4, 2); (2, 7); (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7) ]
+  in
+  build_uniform ~name:"synthetic-fig1" ~kind:Synthetic ~node_names ~latency_ms:20.0
+    ~links ~controller:2
+
+(* Fig. 2 scenario: configuration (a) is the chain v0..v4; (b) shortcuts
+   v2→v4; (c) reroutes the head to v0→v3→v1→v2(→v4).  If (c) is applied
+   while v2 still holds (a)'s rule (because (b) is delayed), packets loop
+   on v1→v2→v3→v1. *)
+let fig2_config_a = [ 0; 1; 2; 3; 4 ]
+let fig2_config_b = [ 0; 1; 2; 4 ]
+let fig2_config_c = [ 0; 3; 1; 2; 4 ]
+
+let fig2 () =
+  let node_names = Array.init 5 (fun i -> Printf.sprintf "v%d" i) in
+  let links = [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 4); (0, 3); (1, 3) ] in
+  (* Short links: the §4.1 loop must traverse v1,v2,v3 often enough for
+     TTL 64 to expire inside the inconsistency window (21 traversals). *)
+  build_uniform ~name:"fig2-scenario" ~kind:Synthetic ~node_names ~latency_ms:1.5
+    ~links ~controller:0
+
+let six_node () =
+  let node_names = Array.init 6 (fun i -> Printf.sprintf "v%d" i) in
+  (* Dense enough to offer a complex (segmented) and a simple update. *)
+  let links = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (0, 2); (1, 3); (2, 4); (3, 5); (0, 4) ] in
+  build_uniform ~name:"six-node" ~kind:Synthetic ~node_names ~latency_ms:20.0 ~links
+    ~controller:2
+
+(* ------------------------------------------------------------------ *)
+(* WAN topologies.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Approximate sites of Google's B4 as published in the B4 paper era:
+   12 datacenters across the US, Europe and Asia; 19 inter-site links. *)
+let b4_sites =
+  [|
+    ("the-dalles-or", (45.6, -121.18));
+    ("mountain-view-ca", (37.39, -122.08));
+    ("council-bluffs-ia", (41.26, -95.86));
+    ("pryor-ok", (36.31, -95.32));
+    ("lenoir-nc", (35.91, -81.54));
+    ("berkeley-county-sc", (33.19, -80.01));
+    ("douglas-county-ga", (33.75, -84.58));
+    ("st-ghislain-be", (50.45, 3.82));
+    ("hamina-fi", (60.57, 27.2));
+    ("dublin-ie", (53.33, -6.25));
+    ("changhua-tw", (24.08, 120.54));
+    ("singapore-sg", (1.35, 103.82));
+  |]
+
+let b4_links =
+  [
+    (0, 1); (0, 2); (1, 2); (1, 3); (2, 3); (3, 6); (2, 4); (4, 5); (5, 6); (4, 6);
+    (4, 7); (6, 7); (7, 8); (7, 9); (8, 9); (0, 10); (1, 10); (10, 11); (6, 11);
+  ]
+
+let b4 () = build_geo ~name:"b4" ~kind:Wan ~sites:b4_sites ~links:b4_links
+
+(* Internet2/Abilene-style research backbone: 16 US sites, 26 links. *)
+let internet2_sites =
+  [|
+    ("seattle", (47.61, -122.33));
+    ("sunnyvale", (37.37, -122.04));
+    ("los-angeles", (34.05, -118.24));
+    ("salt-lake-city", (40.76, -111.89));
+    ("denver", (39.74, -104.99));
+    ("el-paso", (31.76, -106.49));
+    ("houston", (29.76, -95.37));
+    ("kansas-city", (39.1, -94.58));
+    ("dallas", (32.78, -96.8));
+    ("chicago", (41.88, -87.63));
+    ("indianapolis", (39.77, -86.16));
+    ("nashville", (36.16, -86.78));
+    ("atlanta", (33.75, -84.39));
+    ("jacksonville", (30.33, -81.66));
+    ("washington-dc", (38.91, -77.04));
+    ("new-york", (40.71, -74.01));
+  |]
+
+let internet2_links =
+  [
+    (0, 1); (0, 3); (0, 9); (1, 2); (1, 3); (2, 5); (2, 8); (3, 4); (4, 7); (4, 8);
+    (5, 6); (5, 8); (6, 8); (6, 13); (7, 8); (7, 9); (7, 10); (9, 10); (9, 15); (10, 11);
+    (11, 12); (12, 13); (12, 14); (13, 14); (14, 15); (10, 14);
+  ]
+
+let internet2 () =
+  build_geo ~name:"internet2" ~kind:Wan ~sites:internet2_sites ~links:internet2_links
+
+(* For AttMpls and Chinanet (Fig. 8 preparation-time benchmarks only) the
+   wiring is a deterministic ring plus chords with the exact node/edge
+   counts of the Topology Zoo entries; coordinates of real cities give
+   realistic latencies. *)
+let ring_plus_chords ~n ~m =
+  let links = ref [] in
+  let count = ref 0 in
+  let add u v =
+    if !count < m && u <> v && not (List.mem (min u v, max u v) !links) then begin
+      links := (min u v, max u v) :: !links;
+      incr count
+    end
+  in
+  for i = 0 to n - 1 do
+    add i ((i + 1) mod n)
+  done;
+  (* Chords with increasing stride until the edge budget is spent. *)
+  let stride = ref 2 in
+  while !count < m && !stride < n do
+    let i = ref 0 in
+    while !count < m && !i < n do
+      add !i ((!i + !stride) mod n);
+      i := !i + 3
+    done;
+    incr stride
+  done;
+  List.rev !links
+
+let attmpls_cities =
+  [|
+    ("new-york", (40.71, -74.01)); ("chicago", (41.88, -87.63));
+    ("washington-dc", (38.91, -77.04)); ("atlanta", (33.75, -84.39));
+    ("orlando", (28.54, -81.38)); ("miami", (25.76, -80.19));
+    ("nashville", (36.16, -86.78)); ("st-louis", (38.63, -90.2));
+    ("dallas", (32.78, -96.8)); ("houston", (29.76, -95.37));
+    ("new-orleans", (29.95, -90.07)); ("kansas-city", (39.1, -94.58));
+    ("denver", (39.74, -104.99)); ("albuquerque", (35.08, -106.65));
+    ("phoenix", (33.45, -112.07)); ("los-angeles", (34.05, -118.24));
+    ("san-diego", (32.72, -117.16)); ("san-francisco", (37.77, -122.42));
+    ("sacramento", (38.58, -121.49)); ("portland", (45.52, -122.68));
+    ("seattle", (47.61, -122.33)); ("salt-lake-city", (40.76, -111.89));
+    ("minneapolis", (44.98, -93.27)); ("detroit", (42.33, -83.05));
+    ("boston", (42.36, -71.06));
+  |]
+
+let attmpls () =
+  build_geo ~name:"attmpls" ~kind:Wan ~sites:attmpls_cities
+    ~links:(ring_plus_chords ~n:25 ~m:56)
+
+let chinanet_cities =
+  [|
+    ("beijing", (39.9, 116.41)); ("shanghai", (31.23, 121.47));
+    ("guangzhou", (23.13, 113.26)); ("shenzhen", (22.54, 114.06));
+    ("chengdu", (30.57, 104.07)); ("chongqing", (29.56, 106.55));
+    ("wuhan", (30.59, 114.31)); ("xian", (34.34, 108.94));
+    ("nanjing", (32.06, 118.8)); ("hangzhou", (30.27, 120.16));
+    ("tianjin", (39.34, 117.36)); ("shenyang", (41.81, 123.43));
+    ("harbin", (45.8, 126.53)); ("changchun", (43.82, 125.32));
+    ("jinan", (36.65, 117.12)); ("qingdao", (36.07, 120.38));
+    ("zhengzhou", (34.75, 113.63)); ("changsha", (28.23, 112.94));
+    ("nanchang", (28.68, 115.86)); ("fuzhou", (26.07, 119.3));
+    ("xiamen", (24.48, 118.09)); ("kunming", (24.88, 102.83));
+    ("guiyang", (26.65, 106.63)); ("nanning", (22.82, 108.32));
+    ("haikou", (20.04, 110.34)); ("lanzhou", (36.06, 103.83));
+    ("xining", (36.62, 101.78)); ("yinchuan", (38.49, 106.23));
+    ("urumqi", (43.83, 87.62)); ("lhasa", (29.65, 91.11));
+    ("hohhot", (40.84, 111.75)); ("taiyuan", (37.87, 112.55));
+    ("shijiazhuang", (38.04, 114.51)); ("hefei", (31.82, 117.23));
+    ("ningbo", (29.87, 121.54)); ("wenzhou", (28.0, 120.67));
+    ("suzhou", (31.3, 120.62)); ("dongguan", (23.02, 113.75));
+  |]
+
+let chinanet () =
+  build_geo ~name:"chinanet" ~kind:Wan ~sites:chinanet_cities
+    ~links:(ring_plus_chords ~n:38 ~m:62)
+
+(* ------------------------------------------------------------------ *)
+(* Fat-tree K=4 (20 switches).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fat_tree ?(k = 4) () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topologies.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let core_count = half * half in
+  let agg_count = k * half in
+  let edge_count = k * half in
+  let n = core_count + agg_count + edge_count in
+  let core i = i in
+  let agg pod i = core_count + (pod * half) + i in
+  let edge pod i = core_count + agg_count + (pod * half) + i in
+  let node_names = Array.make n "" in
+  for i = 0 to core_count - 1 do
+    node_names.(core i) <- Printf.sprintf "core%d" i
+  done;
+  for pod = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      node_names.(agg pod i) <- Printf.sprintf "agg%d-%d" pod i;
+      node_names.(edge pod i) <- Printf.sprintf "edge%d-%d" pod i
+    done
+  done;
+  let graph = Graph.create n in
+  (* Aggregation i of each pod connects to cores [i*half .. i*half+half-1];
+     every edge switch connects to every aggregation switch of its pod. *)
+  for pod = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        Graph.add_edge graph ~u:(agg pod i) ~v:(core ((i * half) + j)) ~latency_ms:0.05
+          ~capacity:default_capacity;
+        Graph.add_edge graph ~u:(edge pod i) ~v:(agg pod j) ~latency_ms:0.05
+          ~capacity:default_capacity
+      done
+    done
+  done;
+  assert (Graph.is_connected graph);
+  { name = Printf.sprintf "fat-tree-k%d" k; kind = Datacenter; graph; node_names; controller = 0 }
+
+let fig8_set () = [ b4 (); internet2 (); attmpls (); chinanet () ]

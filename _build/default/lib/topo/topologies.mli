@@ -1,0 +1,57 @@
+(** Topology catalogue used by the paper's evaluation (§9.1).
+
+    WAN latencies follow the paper: great-circle distance divided by the
+    propagation speed in optical fibre (2·10^5 km/s = 200 km/ms).  Node and
+    edge counts of the four real networks match the annotations of Fig. 8:
+    B4 (12, 19), Internet2 (16, 26), AttMpls (25, 56), Chinanet (38, 62).
+    Coordinates are approximations of the real sites; for AttMpls and
+    Chinanet (used only for control-plane preparation benchmarks) the
+    wiring is a deterministic ring-plus-chords mesh of the right size. *)
+
+type kind = Wan | Datacenter | Synthetic
+
+type t = {
+  name : string;
+  kind : kind;
+  graph : Graph.t;
+  node_names : string array;
+  controller : int;  (** node hosting the controller (centroid for WANs) *)
+}
+
+(** The 8-node synthetic topology of Fig. 1 (20 ms homogeneous links).
+    Old path v0→v4→v2→v7, new path v0→v1→…→v7. *)
+val fig1 : unit -> t
+
+(** Old and new flow paths of the Fig. 1 scenario. *)
+val fig1_old_path : int list
+val fig1_new_path : int list
+
+(** The 5-node scenario topology of Fig. 2 with the three configurations
+    (a), (b), (c) given as forwarding paths from v0 to v4. *)
+val fig2 : unit -> t
+
+val fig2_config_a : int list
+val fig2_config_b : int list
+val fig2_config_c : int list
+
+(** Six-node network for the skip-ahead experiment of §4.2/Fig. 4. *)
+val six_node : unit -> t
+
+val b4 : unit -> t
+val internet2 : unit -> t
+val attmpls : unit -> t
+val chinanet : unit -> t
+
+(** Fat-tree with parameter [k] (default 4): [5k²/4] switches.  Links have
+    a homogeneous 0.05 ms latency; control latency is modelled separately
+    (normal distribution, see {!Netsim}). *)
+val fat_tree : ?k:int -> unit -> t
+
+(** All topologies used in Fig. 8, in paper order. *)
+val fig8_set : unit -> t list
+
+(** [haversine_km (lat1, lon1) (lat2, lon2)] great-circle distance. *)
+val haversine_km : float * float -> float * float -> float
+
+(** Distance-derived latency in milliseconds. *)
+val geo_latency_ms : float * float -> float * float -> float

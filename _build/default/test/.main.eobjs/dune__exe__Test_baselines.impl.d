@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dessim Harness List Netsim Option P4update Printf Topo

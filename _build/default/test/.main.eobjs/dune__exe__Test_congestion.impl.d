@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Array Congestion Controller Dessim Harness Label List P4update Switch Topo Uib Wire

@@ -1,0 +1,1 @@
+test/test_consecutive_dl.ml: Alcotest Array Controller Dessim Harness List Netsim P4update Printf QCheck QCheck_alcotest Random Switch Topo Wire

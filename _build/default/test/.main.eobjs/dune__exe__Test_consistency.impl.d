@@ -1,0 +1,1 @@
+test/test_consistency.ml: Array Controller Dessim Format Harness Hashtbl List Netsim Option P4update Printf QCheck QCheck_alcotest Random String Switch Topo Wire

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Controller Harness List P4update Topo Wire

@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Dessim Float Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dl_update.ml: Alcotest Array Controller Dessim Harness Hashtbl List Netsim P4update Printf Segment Switch Topo Uib Wire

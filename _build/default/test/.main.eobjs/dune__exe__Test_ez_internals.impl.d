@@ -1,0 +1,1 @@
+test/test_ez_internals.ml: Alcotest Array Baselines Dessim Fun Hashtbl List Netsim Printf Topo

@@ -1,0 +1,1 @@
+test/test_graphml.ml: Alcotest Harness List P4update Printf Topo

@@ -1,0 +1,1 @@
+test/test_inconsistency.ml: Alcotest Array Controller Harness List Netsim P4update Printf Switch Topo Uib Wire

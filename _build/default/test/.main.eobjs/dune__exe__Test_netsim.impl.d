@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bytes Dessim List Netsim Printf Topo

@@ -1,0 +1,1 @@
+test/test_p4rt.ml: Alcotest Bytes Format List Option P4rt P4update QCheck QCheck_alcotest

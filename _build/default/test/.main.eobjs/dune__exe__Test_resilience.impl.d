@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Controller Harness List Netsim Option P4update Switch Topo Wire

@@ -1,0 +1,1 @@
+test/test_segment_label.ml: Alcotest Dessim Label List Netsim Option P4update QCheck QCheck_alcotest Random Segment Topo Wire

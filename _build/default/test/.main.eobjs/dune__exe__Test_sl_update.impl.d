@@ -1,0 +1,1 @@
+test/test_sl_update.ml: Alcotest Array Controller Dessim Format Harness List P4update Printf Switch Topo Wire

@@ -1,0 +1,1 @@
+test/test_stats_traffic.ml: Alcotest Float Harness List QCheck QCheck_alcotest Random Topo

@@ -1,0 +1,1 @@
+test/test_topologies.ml: Alcotest List Printf Topo

@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Alcotest Array Controller Dessim Harness Hashtbl List Netsim Option P4update Printf Random String Switch Topo Uib Wire

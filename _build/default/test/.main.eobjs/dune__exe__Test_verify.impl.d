@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest P4update QCheck QCheck_alcotest

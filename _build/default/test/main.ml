@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "p4update"
+    [
+      ("dessim", Test_dessim.suite);
+      ("graph", Test_graph.suite);
+      ("topologies", Test_topologies.suite);
+      ("graphml", Test_graphml.suite);
+      ("stats-traffic", Test_stats_traffic.suite);
+      ("svg", Test_svg.suite);
+      ("p4rt", Test_p4rt.suite);
+      ("netsim", Test_netsim.suite);
+      ("segment-label", Test_segment_label.suite);
+      ("verify", Test_verify.suite);
+      ("congestion", Test_congestion.suite);
+      ("controller", Test_controller.suite);
+      ("sl-update", Test_sl_update.suite);
+      ("dl-update", Test_dl_update.suite);
+      ("consistency", Test_consistency.suite);
+      ("resilience", Test_resilience.suite);
+      ("consecutive-dl", Test_consecutive_dl.suite);
+      ("two-phase", Test_two_phase.suite);
+      ("inconsistency", Test_inconsistency.suite);
+      ("baselines", Test_baselines.suite);
+      ("ez-internals", Test_ez_internals.suite);
+    ]

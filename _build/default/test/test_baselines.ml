@@ -1,0 +1,112 @@
+(* Tests for the two baselines: Central (dependency-graph rounds) and
+   ez-Segway (decentralized segments without verification). *)
+
+module Wire = P4update.Wire
+
+let fig1 = Topo.Topologies.fig1
+let old_path = Topo.Topologies.fig1_old_path
+let new_path = Topo.Topologies.fig1_new_path
+
+let test_central_converges () =
+  let sim = Dessim.Sim.create () in
+  let net = Netsim.create sim (fig1 ()) in
+  let central = Baselines.Central.create net ~congestion:false in
+  let flow_id = Baselines.Central.register_flow central ~src:0 ~dst:7 ~size:100 ~path:old_path in
+  Baselines.Central.schedule_updates central [ (flow_id, new_path) ];
+  let _ = Dessim.Sim.run sim in
+  (match Baselines.Central.trace central ~flow_id ~src:0 with
+   | Some path -> Alcotest.(check (list int)) "central converges" new_path path
+   | None -> Alcotest.fail "central: flow broken after update");
+  match Baselines.Central.completion_time central with
+  | Some t -> Alcotest.(check bool) "positive completion" true (t > 0.0)
+  | None -> Alcotest.fail "central: update never completed"
+
+let test_central_multiple_rounds () =
+  (* The fig. 1 update has a backward dependency, so Central cannot finish
+     in one round. *)
+  let sim = Dessim.Sim.create () in
+  let net = Netsim.create sim (fig1 ()) in
+  let central = Baselines.Central.create net ~congestion:false in
+  let flow_id = Baselines.Central.register_flow central ~src:0 ~dst:7 ~size:100 ~path:old_path in
+  Baselines.Central.schedule_updates central [ (flow_id, new_path) ];
+  let _ = Dessim.Sim.run sim in
+  Alcotest.(check bool)
+    (Printf.sprintf "needs >= 2 rounds (got %d)" (Baselines.Central.rounds_used central))
+    true
+    (Baselines.Central.rounds_used central >= 2)
+
+let test_ez_converges () =
+  let sim = Dessim.Sim.create () in
+  let net = Netsim.create sim (fig1 ()) in
+  let ez = Baselines.Ez_segway.create net ~congestion:false in
+  let flow_id = Baselines.Ez_segway.register_flow ez ~src:0 ~dst:7 ~size:100 ~path:old_path in
+  Baselines.Ez_segway.schedule_updates ez
+    [ { Baselines.Ez_segway.ur_flow = flow_id; ur_size = 100; ur_old_path = old_path; ur_new_path = new_path } ];
+  let _ = Dessim.Sim.run sim in
+  (match Baselines.Ez_segway.trace ez ~flow_id ~src:0 with
+   | Some path -> Alcotest.(check (list int)) "ez converges" new_path path
+   | None -> Alcotest.fail "ez: flow broken after update");
+  match Baselines.Ez_segway.completion_time ez ~flow_id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ez: no completion recorded"
+
+let test_ez_segment_classes () =
+  let plans =
+    let sim = Dessim.Sim.create () in
+    let net = Netsim.create sim (fig1 ()) in
+    Baselines.Ez_segway.prepare net ~congestion:false
+      [ { Baselines.Ez_segway.ur_flow = 1; ur_size = 100; ur_old_path = old_path; ur_new_path = new_path } ]
+  in
+  match plans with
+  | [ plan ] ->
+    let node_plan n =
+      List.find (fun p -> p.Baselines.Ez_segway.pn_node = n) plan.Baselines.Ez_segway.pf_nodes
+    in
+    (* v3 is interior of the in_loop (backward) segment v2..v4. *)
+    Alcotest.(check bool) "v3 in_loop" true (node_plan 3).Baselines.Ez_segway.pn_in_loop;
+    (* v1 and v5/v6 are interior of not_in_loop segments. *)
+    Alcotest.(check bool) "v1 not in_loop" false (node_plan 1).Baselines.Ez_segway.pn_in_loop;
+    Alcotest.(check bool) "v5 not in_loop" false (node_plan 5).Baselines.Ez_segway.pn_in_loop
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_ez_faster_than_central () =
+  (* ez-Segway's decentralized coordination must beat Central's
+     per-round control-plane RTTs (the result their paper establishes and
+     §9.2 confirms). *)
+  let run_central seed =
+    let sim = Dessim.Sim.create ~seed () in
+    let config = { Netsim.default_config with rule_update_mean_ms = Some 100.0 } in
+    let net = Netsim.create ~config sim (fig1 ()) in
+    let central = Baselines.Central.create net ~congestion:false in
+    let flow_id = Baselines.Central.register_flow central ~src:0 ~dst:7 ~size:100 ~path:old_path in
+    Baselines.Central.schedule_updates central [ (flow_id, new_path) ];
+    let _ = Dessim.Sim.run sim in
+    Option.get (Baselines.Central.completion_time central)
+  in
+  let run_ez seed =
+    let sim = Dessim.Sim.create ~seed () in
+    let config = { Netsim.default_config with rule_update_mean_ms = Some 100.0 } in
+    let net = Netsim.create ~config sim (fig1 ()) in
+    let ez = Baselines.Ez_segway.create net ~congestion:false in
+    let flow_id = Baselines.Ez_segway.register_flow ez ~src:0 ~dst:7 ~size:100 ~path:old_path in
+    Baselines.Ez_segway.schedule_updates ez
+      [ { Baselines.Ez_segway.ur_flow = flow_id; ur_size = 100; ur_old_path = old_path; ur_new_path = new_path } ];
+    let _ = Dessim.Sim.run sim in
+    Option.get (Baselines.Ez_segway.completion_time ez ~flow_id)
+  in
+  let seeds = List.init 10 (fun i -> 7 + i) in
+  let central = Harness.Stats.mean (List.map run_central seeds) in
+  let ez = Harness.Stats.mean (List.map run_ez seeds) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ez (%.1f ms) beats central (%.1f ms)" ez central)
+    true (ez < central)
+
+let suite =
+  [
+    Alcotest.test_case "central converges" `Quick test_central_converges;
+    Alcotest.test_case "central needs multiple rounds on fig1" `Quick
+      test_central_multiple_rounds;
+    Alcotest.test_case "ez-segway converges" `Quick test_ez_converges;
+    Alcotest.test_case "ez-segway segment classes" `Quick test_ez_segment_classes;
+    Alcotest.test_case "ez-segway beats central" `Slow test_ez_faster_than_central;
+  ]

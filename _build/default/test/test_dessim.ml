@@ -1,0 +1,119 @@
+(* Unit and property tests for the discrete-event simulation kernel. *)
+
+module Sim = Dessim.Sim
+module Event_heap = Dessim.Event_heap
+
+let test_heap_ordering () =
+  let heap = Event_heap.create () in
+  Event_heap.push heap ~time:3.0 "c";
+  Event_heap.push heap ~time:1.0 "a";
+  Event_heap.push heap ~time:2.0 "b";
+  let pop () = match Event_heap.pop heap with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty heap)
+
+let test_heap_fifo_ties () =
+  (* Events at the same instant must pop in scheduling order. *)
+  let heap = Event_heap.create () in
+  for i = 0 to 9 do
+    Event_heap.push heap ~time:5.0 i
+  done;
+  let order = List.init 10 (fun _ -> match Event_heap.pop heap with Some (_, i) -> i | None -> -1) in
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Sim.schedule sim ~delay:10.0 (fun () -> trace := ("b", Sim.now sim) :: !trace);
+  Sim.schedule sim ~delay:5.0 (fun () -> trace := ("a", Sim.now sim) :: !trace);
+  let events = Sim.run sim in
+  Alcotest.(check int) "two events" 2 events;
+  Alcotest.(check (list (pair string (float 0.001)))) "ordered with timestamps"
+    [ ("a", 5.0); ("b", 10.0) ]
+    (List.rev !trace)
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      incr count;
+      Sim.schedule sim ~delay:1.0 (fun () -> tick (n - 1))
+    end
+  in
+  Sim.schedule sim ~delay:0.0 (fun () -> tick 100);
+  let _ = Sim.run sim in
+  Alcotest.(check int) "hundred ticks" 100 !count;
+  Alcotest.(check (float 0.001)) "clock at 100" 100.0 (Sim.now sim)
+
+let test_run_until_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Sim.schedule sim ~delay:t (fun () -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  let _ = Sim.run ~until:2.5 sim in
+  Alcotest.(check (list (float 0.001))) "only before horizon" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check int) "rest pending" 2 (Sim.pending sim)
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative or non-finite delay")
+    (fun () -> Sim.schedule sim ~delay:(-1.0) ignore)
+
+let test_determinism () =
+  let run () =
+    let sim = Sim.create ~seed:99 () in
+    let out = ref [] in
+    for _ = 1 to 5 do
+      out := Sim.exponential sim ~mean:10.0 :: !out
+    done;
+    !out
+  in
+  Alcotest.(check (list (float 1e-9))) "same seed, same draws" (run ()) (run ())
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let heap = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push heap ~time:t ()) times;
+      let rec drain last =
+        match Event_heap.pop heap with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples are positive and finite" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let sim = Sim.create ~seed ()
+      in
+      let x = Sim.exponential sim ~mean:100.0 in
+      x > 0.0 && Float.is_finite x)
+
+let prop_normal_nonnegative =
+  QCheck.Test.make ~name:"normal samples are truncated at zero" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let sim = Sim.create ~seed () in
+      Sim.normal sim ~mean:1.0 ~stddev:5.0 >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap breaks ties FIFO" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "clock advances with events" `Quick test_clock_advances;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "run with horizon" `Quick test_run_until_horizon;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "deterministic RNG" `Quick test_determinism;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_exponential_positive;
+    QCheck_alcotest.to_alcotest prop_normal_nonnegative;
+  ]

@@ -1,0 +1,111 @@
+(* Unit tests for ez-Segway's preparation internals: segmentation
+   classes, plan encoding and the centralized congestion dependency
+   graph whose cost Fig. 8b measures. *)
+
+module Ez = Baselines.Ez_segway
+
+let net_of topo = Netsim.create (Dessim.Sim.create ()) topo
+
+let fig1_request =
+  {
+    Ez.ur_flow = 1;
+    ur_size = 100;
+    ur_old_path = Topo.Topologies.fig1_old_path;
+    ur_new_path = Topo.Topologies.fig1_new_path;
+  }
+
+let test_plan_structure () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  match Ez.prepare net ~congestion:false [ fig1_request ] with
+  | [ plan ] ->
+    Alcotest.(check int) "one plan node per path node"
+      (List.length Topo.Topologies.fig1_new_path)
+      (List.length plan.Ez.pf_nodes);
+    Alcotest.(check int) "three segments" 3 (List.length plan.Ez.pf_segment_orders);
+    (* segment orders run from the egress side *)
+    let order_heads = List.map (fun (seg, _) -> List.hd seg) plan.Ez.pf_segment_orders in
+    Alcotest.(check (list int)) "orders start at segment egresses" [ 2; 4; 7 ] order_heads;
+    (* only the middle segment is in_loop *)
+    let classes = List.map snd plan.Ez.pf_segment_orders in
+    Alcotest.(check (list bool)) "in_loop classes" [ false; true; false ] classes;
+    (* every in_loop segment depends on all downstream segments *)
+    Alcotest.(check (list (pair int int))) "dependencies" [ (1, 2) ] plan.Ez.pf_dependencies
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_plan_changed_flags () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  match Ez.prepare net ~congestion:false [ fig1_request ] with
+  | [ plan ] ->
+    let changed n =
+      (List.find (fun p -> p.Ez.pn_node = n) plan.Ez.pf_nodes).Ez.pn_changed
+    in
+    Alcotest.(check bool) "v0 changes (0->1 vs 0->4)" true (changed 0);
+    Alcotest.(check bool) "v1 gets a fresh rule" true (changed 1);
+    Alcotest.(check bool) "egress unchanged" false (changed 7)
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_dependency_graph_priorities () =
+  let topo = Topo.Topologies.fig1 () in
+  let net = net_of topo in
+  (* Flow 9 wants to enter link (0,4), which flow 8 currently fills. *)
+  let requests =
+    [
+      { Ez.ur_flow = 8; ur_size = 900; ur_old_path = [ 0; 4; 5 ]; ur_new_path = [ 0; 1; 2; 4; 5 ] };
+      { Ez.ur_flow = 9; ur_size = 900; ur_old_path = [ 0; 1; 2; 7 ]; ur_new_path = [ 0; 4; 2; 7 ] };
+    ]
+  in
+  let dg = Ez.build_dependency_graph net requests in
+  (* flow 9's entry into (0,4) depends on flow 8 leaving it, and flow 8's
+     detour crosses the links flow 9 is leaving: a mutual dependency, so
+     both land in the most-restricted class. *)
+  Alcotest.(check bool) "at least one dependency edge" true (dg.Ez.dg_edges <> []);
+  let pri flow = Hashtbl.find dg.Ez.dg_priority flow in
+  Alcotest.(check int) "the blocked flow moves last (class 2)" 2 (pri 9);
+  Alcotest.(check int) "the counterpart is equally restricted" 2 (pri 8)
+
+let test_dependency_graph_no_contention () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  (* Tiny flows: nobody blocks anybody. *)
+  let requests =
+    [ { fig1_request with Ez.ur_size = 1 };
+      { Ez.ur_flow = 2; ur_size = 1; ur_old_path = [ 0; 4; 5 ]; ur_new_path = [ 0; 1; 2; 4; 5 ] } ]
+  in
+  let dg = Ez.build_dependency_graph net requests in
+  Alcotest.(check (list (pair int int))) "no edges" [] dg.Ez.dg_edges;
+  Hashtbl.iter
+    (fun flow cls ->
+      Alcotest.(check int) (Printf.sprintf "flow %d plain class" flow) 1 cls)
+    dg.Ez.dg_priority
+
+let test_dependency_graph_cycle_detected () =
+  (* A genuine swap: each flow must enter the link the other leaves. *)
+  let g = Topo.Graph.create 4 in
+  Topo.Graph.add_edge g ~u:0 ~v:1 ~latency_ms:1.0 ~capacity:10.0;
+  Topo.Graph.add_edge g ~u:1 ~v:3 ~latency_ms:1.0 ~capacity:10.0;
+  Topo.Graph.add_edge g ~u:0 ~v:2 ~latency_ms:1.0 ~capacity:10.0;
+  Topo.Graph.add_edge g ~u:2 ~v:3 ~latency_ms:1.0 ~capacity:10.0;
+  let topo =
+    { Topo.Topologies.name = "swap"; kind = Topo.Topologies.Synthetic; graph = g;
+      node_names = [| "a"; "b"; "c"; "d" |]; controller = 0 }
+  in
+  let net = net_of topo in
+  let requests =
+    [
+      { Ez.ur_flow = 1; ur_size = 900; ur_old_path = [ 0; 1; 3 ]; ur_new_path = [ 0; 2; 3 ] };
+      { Ez.ur_flow = 2; ur_size = 900; ur_old_path = [ 0; 2; 3 ]; ur_new_path = [ 0; 1; 3 ] };
+    ]
+  in
+  let dg = Ez.build_dependency_graph net requests in
+  Alcotest.(check bool) "cycle detected" true (Array.exists Fun.id dg.Ez.dg_in_cycle);
+  Alcotest.(check int) "both flows in the last class" 2 (Hashtbl.find dg.Ez.dg_priority 1);
+  Alcotest.(check int) "both flows in the last class (2)" 2 (Hashtbl.find dg.Ez.dg_priority 2)
+
+let suite =
+  [
+    Alcotest.test_case "plan structure on fig. 1" `Quick test_plan_structure;
+    Alcotest.test_case "plan changed flags" `Quick test_plan_changed_flags;
+    Alcotest.test_case "dependency graph priorities" `Quick test_dependency_graph_priorities;
+    Alcotest.test_case "dependency graph without contention" `Quick
+      test_dependency_graph_no_contention;
+    Alcotest.test_case "dependency cycle detection" `Quick test_dependency_graph_cycle_detected;
+  ]

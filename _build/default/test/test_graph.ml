@@ -1,0 +1,176 @@
+(* Unit and property tests for the graph substrate. *)
+
+module Graph = Topo.Graph
+
+let diamond () =
+  (* 0 - 1 - 3 with a slower 0 - 2 - 3 alternative. *)
+  let g = Graph.create 4 in
+  Graph.add_edge g ~u:0 ~v:1 ~latency_ms:1.0 ~capacity:10.0;
+  Graph.add_edge g ~u:1 ~v:3 ~latency_ms:1.0 ~capacity:10.0;
+  Graph.add_edge g ~u:0 ~v:2 ~latency_ms:2.0 ~capacity:10.0;
+  Graph.add_edge g ~u:2 ~v:3 ~latency_ms:2.0 ~capacity:10.0;
+  g
+
+let test_basic_structure () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check bool) "edge exists" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "edge symmetric" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no edge" false (Graph.has_edge g 0 3);
+  Alcotest.(check (float 0.001)) "latency" 2.0 (Graph.latency g 2 3);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_rejects_invalid_edges () =
+  let g = diamond () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> Graph.add_edge g ~u:1 ~v:1 ~latency_ms:1.0 ~capacity:1.0);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge")
+    (fun () -> Graph.add_edge g ~u:0 ~v:1 ~latency_ms:1.0 ~capacity:1.0)
+
+let test_shortest_path () =
+  let g = diamond () in
+  Alcotest.(check (option (list int))) "fast branch" (Some [ 0; 1; 3 ])
+    (Graph.shortest_path g ~src:0 ~dst:3);
+  Alcotest.(check (option (list int))) "self" (Some [ 2 ]) (Graph.shortest_path g ~src:2 ~dst:2)
+
+let test_unreachable () =
+  let g = Graph.create 3 in
+  Graph.add_edge g ~u:0 ~v:1 ~latency_ms:1.0 ~capacity:1.0;
+  Alcotest.(check (option (list int))) "unreachable" None (Graph.shortest_path g ~src:0 ~dst:2);
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g)
+
+let test_k_shortest () =
+  let g = diamond () in
+  let paths = Graph.k_shortest_paths g ~src:0 ~dst:3 ~k:3 in
+  Alcotest.(check int) "two distinct paths" 2 (List.length paths);
+  Alcotest.(check (list (list int))) "ordered by latency" [ [ 0; 1; 3 ]; [ 0; 2; 3 ] ] paths
+
+let test_k_shortest_on_wans () =
+  List.iter
+    (fun topo ->
+      let g = topo.Topo.Topologies.graph in
+      let paths = Graph.k_shortest_paths g ~src:0 ~dst:(Graph.node_count g - 1) ~k:4 in
+      Alcotest.(check bool)
+        (topo.Topo.Topologies.name ^ ": at least 2 paths")
+        true
+        (List.length paths >= 2);
+      (* All paths valid, simple and strictly sorted by latency. *)
+      List.iter
+        (fun p -> Alcotest.(check bool) "valid path" true (Graph.path_is_valid g p))
+        paths;
+      let costs = List.map (Graph.path_latency g) paths in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "sorted" true (sorted costs);
+      let distinct = List.sort_uniq compare paths in
+      Alcotest.(check int) "distinct" (List.length paths) (List.length distinct))
+    [ Topo.Topologies.b4 (); Topo.Topologies.internet2 () ]
+
+let test_hop_distances () =
+  let g = diamond () in
+  let d = Graph.hop_distances g ~dst:3 in
+  Alcotest.(check (array int)) "hops" [| 2; 1; 1; 0 |] d
+
+let test_centroid_is_valid_node () =
+  List.iter
+    (fun topo ->
+      let g = topo.Topo.Topologies.graph in
+      let c = Graph.centroid g in
+      Alcotest.(check bool) "in range" true (c >= 0 && c < Graph.node_count g))
+    [ Topo.Topologies.b4 (); Topo.Topologies.internet2 (); Topo.Topologies.fig1 () ]
+
+let test_set_capacity () =
+  let g = diamond () in
+  Graph.set_capacity g 0 1 42.0;
+  Alcotest.(check (float 0.001)) "override" 42.0 (Graph.capacity g 0 1);
+  Alcotest.(check (float 0.001)) "symmetric" 42.0 (Graph.capacity g 1 0);
+  Alcotest.(check (float 0.001)) "others untouched" 10.0 (Graph.capacity g 0 2)
+
+(* Random connected graph generator for property tests. *)
+let random_graph_gen =
+  QCheck.Gen.(
+    sized_size (int_range 4 12) (fun n ->
+        let* extra = int_bound (n * 2) in
+        let* seed = int_bound 1_000_000 in
+        return (n, extra, seed)))
+
+let build_random (n, extra, seed) =
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create n in
+  (* Random spanning tree first, then extra chords. *)
+  for v = 1 to n - 1 do
+    let u = Random.State.int rng v in
+    Graph.add_edge g ~u ~v ~latency_ms:(1.0 +. Random.State.float rng 9.0) ~capacity:10.0
+  done;
+  for _ = 1 to extra do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (Graph.has_edge g u v) then
+      Graph.add_edge g ~u ~v ~latency_ms:(1.0 +. Random.State.float rng 9.0) ~capacity:10.0
+  done;
+  g
+
+let random_graph_arb = QCheck.make ~print:(fun (n, e, s) -> Printf.sprintf "(n=%d,e=%d,seed=%d)" n e s) random_graph_gen
+
+let prop_shortest_path_valid =
+  QCheck.Test.make ~name:"shortest paths are valid and minimal vs BFS reachability" ~count:100
+    random_graph_arb
+    (fun spec ->
+      let g = build_random spec in
+      let n = Graph.node_count g in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          match Graph.shortest_path g ~src ~dst with
+          | Some p ->
+            if not (Graph.path_is_valid g p) then ok := false;
+            if List.hd p <> src then ok := false;
+            if List.nth p (List.length p - 1) <> dst then ok := false
+          | None -> if Graph.is_connected g then ok := false
+        done
+      done;
+      !ok)
+
+let prop_yen_paths_simple_and_sorted =
+  QCheck.Test.make ~name:"yen paths are simple, distinct and sorted" ~count:60 random_graph_arb
+    (fun spec ->
+      let g = build_random spec in
+      let n = Graph.node_count g in
+      let paths = Graph.k_shortest_paths g ~src:0 ~dst:(n - 1) ~k:4 in
+      let costs = List.map (Graph.path_latency g) paths in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      List.for_all (Graph.path_is_valid g) paths
+      && sorted costs
+      && List.length (List.sort_uniq compare paths) = List.length paths)
+
+let prop_first_yen_is_shortest =
+  QCheck.Test.make ~name:"first yen path equals dijkstra" ~count:60 random_graph_arb
+    (fun spec ->
+      let g = build_random spec in
+      let n = Graph.node_count g in
+      match (Graph.k_shortest_paths g ~src:0 ~dst:(n - 1) ~k:2, Graph.shortest_path g ~src:0 ~dst:(n - 1)) with
+      | first :: _, Some sp ->
+        Graph.path_latency g first = Graph.path_latency g sp
+      | [], None -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "basic structure" `Quick test_basic_structure;
+    Alcotest.test_case "invalid edges rejected" `Quick test_rejects_invalid_edges;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "unreachable destination" `Quick test_unreachable;
+    Alcotest.test_case "k-shortest on diamond" `Quick test_k_shortest;
+    Alcotest.test_case "k-shortest on WANs" `Quick test_k_shortest_on_wans;
+    Alcotest.test_case "hop distances" `Quick test_hop_distances;
+    Alcotest.test_case "centroid valid" `Quick test_centroid_is_valid_node;
+    Alcotest.test_case "capacity override" `Quick test_set_capacity;
+    QCheck_alcotest.to_alcotest prop_shortest_path_valid;
+    QCheck_alcotest.to_alcotest prop_yen_paths_simple_and_sorted;
+    QCheck_alcotest.to_alcotest prop_first_yen_is_shortest;
+  ]

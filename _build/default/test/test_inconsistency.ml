@@ -1,0 +1,159 @@
+(* End-to-end rejection of inconsistent updates (§7.1, Fig. 6): the
+   whole point of local verification is that miscomputed or reordered
+   configurations are refused in the data plane and reported, while the
+   active forwarding state stays intact. *)
+
+open P4update
+
+let setup () =
+  let w = Harness.World.make (Topo.Topologies.fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  (w, flow)
+
+(* Fig. 6b: the controller miscomputes the distances (two nodes share a
+   distance).  Every affected node must reject and alarm; nothing is
+   committed upstream of the error. *)
+let test_distance_error_rejected () =
+  let w, flow = setup () in
+  let prepared =
+    Controller.prepare w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  (* Corrupt the distances of v3 and v4 to be equal. *)
+  let corrupted =
+    {
+      prepared with
+      Controller.p_uims =
+        List.map
+          (fun (node, uim) ->
+            if node = 3 then (node, { uim with Wire.dist_new = uim.Wire.dist_new + 1 })
+            else (node, uim))
+          prepared.Controller.p_uims;
+    }
+  in
+  Controller.push w.controller corrupted;
+  let _ = Harness.World.run w in
+  Alcotest.(check bool) "controller was alarmed" true (Controller.alarm_count w.controller > 0);
+  (* The ingress never completed this version. *)
+  Alcotest.(check bool) "no success UFM" true
+    (Controller.completion_time w.controller ~flow_id:flow.flow_id
+       ~version:corrupted.Controller.p_version
+     = None);
+  (* Nodes upstream of the corruption kept their old rules; the mixed
+     state is still consistent (partial updates are legal, §5). *)
+  (match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+   | Harness.Fwdcheck.Reaches_egress _ -> ()
+   | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o);
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d upstream of the error did not adopt version 2" node)
+        true
+        (Switch.version_of w.switches.(node) ~flow_id:flow.flow_id < 2))
+    [ 0; 1; 2 ]
+
+(* Fig. 6c: a replayed (older-version) notification is rejected with an
+   alarm once a newer indication is staged. *)
+let test_stale_version_rejected () =
+  let w, flow = setup () in
+  (* Complete version 2 normally. *)
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  (* Stage version 3 via the controller, then replay a version-2 UNM at
+     v6 (as a confused/buggy neighbor would). *)
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_old_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  let alarms_before = Controller.alarm_count w.controller in
+  (* v6 is not on the version-3 path, so its highest indication is 2; a
+     replayed version-1 notification is outdated and must alarm. *)
+  let stale =
+    {
+      (Wire.control_default Wire.Unm) with
+      flow_id = flow.flow_id;
+      version_new = 1;
+      version_old = 0;
+      dist_new = 0;
+      update_type = Wire.Sl;
+      src_node = 7;
+    }
+  in
+  Netsim.transmit w.net ~from:7 ~port:(Netsim.port_of_neighbor w.net ~node:7 ~neighbor:6)
+    (Wire.control_to_bytes stale);
+  let _ = Harness.World.run w in
+  Alcotest.(check bool) "stale notification alarmed" true
+    (Controller.alarm_count w.controller > alarms_before);
+  (* v6 still at version 2 (the last one that touched it). *)
+  Alcotest.(check int) "v6 unmoved" 2 (Switch.version_of w.switches.(6) ~flow_id:flow.flow_id)
+
+(* A forged notification claiming a bogus short distance must not trick a
+   node into pointing backwards. *)
+let test_forged_distance_ignored () =
+  let w, flow = setup () in
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  (* Forge a "version 2, distance 5" notification at v1 (whose own
+     distance is 6): the distance check D(UIM) = D(UNM)+1 holds, but v1
+     is already at version 2 — duplicate, silently ignored. *)
+  let commits_before = (Switch.stats w.switches.(1)).Switch.commits in
+  let forged =
+    {
+      (Wire.control_default Wire.Unm) with
+      flow_id = flow.flow_id;
+      version_new = 2;
+      version_old = 1;
+      dist_new = 5;
+      update_type = Wire.Sl;
+      src_node = 2;
+    }
+  in
+  Netsim.transmit w.net ~from:2 ~port:(Netsim.port_of_neighbor w.net ~node:2 ~neighbor:1)
+    (Wire.control_to_bytes forged);
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "no extra commit" commits_before
+    (Switch.stats w.switches.(1)).Switch.commits
+
+(* Cleanup frees abandoned reservations exactly once. *)
+let test_cleanup_releases_reservation () =
+  let w, flow = setup () in
+  (* v4 holds 100 centi-units toward v2 on the old path. *)
+  let uib4 = Switch.uib w.switches.(4) in
+  let port_4_to_2 = Netsim.port_of_neighbor w.net ~node:4 ~neighbor:2 in
+  Alcotest.(check int) "initial reservation" 100 (Uib.reserved uib4 port_4_to_2);
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  (* After the update v4 forwards to v5; the 4->2 reservation is gone and
+     4->5 carries the flow. *)
+  let port_4_to_5 = Netsim.port_of_neighbor w.net ~node:4 ~neighbor:5 in
+  Alcotest.(check int) "old reservation released" 0 (Uib.reserved uib4 port_4_to_2);
+  Alcotest.(check int) "new reservation held" 100 (Uib.reserved uib4 port_4_to_5);
+  (* And the abandoned old-path node v2's old 2->7 reservation is freed by
+     the cleanup wave (v2 is on the new path too, so its own commit did
+     it; check the total reserved across v2's ports equals one flow). *)
+  let uib2 = Switch.uib w.switches.(2) in
+  let total =
+    List.fold_left ( + ) 0
+      (List.init (Netsim.port_count w.net ~node:2) (fun p -> Uib.reserved uib2 p))
+  in
+  Alcotest.(check int) "v2 holds exactly one reservation" 100 total
+
+let suite =
+  [
+    Alcotest.test_case "distance error rejected (Fig. 6b)" `Quick test_distance_error_rejected;
+    Alcotest.test_case "stale version rejected (Fig. 6c)" `Quick test_stale_version_rejected;
+    Alcotest.test_case "forged duplicate ignored" `Quick test_forged_distance_ignored;
+    Alcotest.test_case "cleanup releases reservations" `Quick test_cleanup_releases_reservation;
+  ]

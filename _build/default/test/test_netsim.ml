@@ -1,0 +1,136 @@
+(* Tests for the network emulation layer. *)
+
+module Sim = Dessim.Sim
+
+let line_topo () =
+  let g = Topo.Graph.create 3 in
+  Topo.Graph.add_edge g ~u:0 ~v:1 ~latency_ms:5.0 ~capacity:10.0;
+  Topo.Graph.add_edge g ~u:1 ~v:2 ~latency_ms:7.0 ~capacity:10.0;
+  {
+    Topo.Topologies.name = "line";
+    kind = Topo.Topologies.Synthetic;
+    graph = g;
+    node_names = [| "a"; "b"; "c" |];
+    controller = 1;
+  }
+
+let test_port_numbering () =
+  let net = Netsim.create (Sim.create ()) (line_topo ()) in
+  Alcotest.(check int) "node 1 has two ports" 2 (Netsim.port_count net ~node:1);
+  Alcotest.(check (option int)) "port 0 of node 1" (Some 0)
+    (Netsim.neighbor_of_port net ~node:1 ~port:0);
+  Alcotest.(check (option int)) "port 1 of node 1" (Some 2)
+    (Netsim.neighbor_of_port net ~node:1 ~port:1);
+  Alcotest.(check (option int)) "out of range" None (Netsim.neighbor_of_port net ~node:1 ~port:7);
+  Alcotest.(check int) "reverse lookup" 1 (Netsim.port_of_neighbor net ~node:1 ~neighbor:2)
+
+let test_transmit_latency () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let arrival = ref None in
+  Netsim.attach net ~node:1 (fun event ->
+      match event with
+      | Netsim.Data _ -> arrival := Some (Sim.now sim)
+      | Netsim.From_controller _ -> ());
+  Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run sim in
+  match !arrival with
+  | Some t ->
+    (* 5 ms propagation + 0.5 ms processing *)
+    Alcotest.(check (float 0.001)) "latency" 5.5 t
+  | None -> Alcotest.fail "packet not delivered"
+
+let test_unbound_port_is_noop () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  Netsim.transmit net ~from:0 ~port:9 (Bytes.of_string "x");
+  Alcotest.(check int) "no event scheduled" 0 (Sim.pending sim)
+
+let test_controller_fifo_serialization () =
+  (* Two back-to-back controller messages to the same switch must be
+     spaced by at least the service time. *)
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let arrivals = ref [] in
+  Netsim.attach net ~node:0 (fun event ->
+      match event with
+      | Netsim.From_controller _ -> arrivals := Sim.now sim :: !arrivals
+      | Netsim.Data _ -> ());
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "a");
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "b");
+  let _ = Sim.run sim in
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    let service = (Netsim.config net).Netsim.controller_service_ms in
+    Alcotest.(check bool)
+      (Printf.sprintf "serialized (%.3f then %.3f)" t1 t2)
+      true
+      (t2 -. t1 >= service -. 1e-9)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_fault_drop () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let received = ref 0 in
+  Netsim.attach net ~node:1 (fun _ -> incr received);
+  Netsim.set_data_fault net (fun ~from:_ ~to_:_ _ -> Netsim.Drop);
+  Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "dropped" 0 !received;
+  Alcotest.(check int) "counted" 1 (Netsim.counters net).Netsim.dropped_by_fault;
+  Netsim.clear_data_fault net;
+  Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "delivered after clear" 1 !received
+
+let test_fault_duplicate () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let received = ref 0 in
+  Netsim.attach net ~node:1 (fun _ -> incr received);
+  Netsim.set_data_fault net (fun ~from:_ ~to_:_ _ -> Netsim.Duplicate);
+  Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "two copies" 2 !received
+
+let test_observer_sees_delivery () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  Netsim.attach net ~node:1 (fun _ -> ());
+  let seen = ref [] in
+  Netsim.on_delivery net (fun _time node port bytes ->
+      seen := (node, port, Bytes.to_string bytes) :: !seen);
+  Netsim.transmit net ~from:2 ~port:0 (Bytes.of_string "hello");
+  let _ = Sim.run sim in
+  Alcotest.(check (list (triple int int string))) "observed" [ (1, 1, "hello") ] !seen
+
+let test_straggler_distribution () =
+  let sim = Sim.create ~seed:123 () in
+  let config = { Netsim.default_config with rule_update_mean_ms = Some 100.0 } in
+  let net = Netsim.create ~config sim (line_topo ()) in
+  let samples = List.init 200 (fun _ -> Netsim.rule_update_delay net ~node:0) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. 200.0 in
+  Alcotest.(check bool) (Printf.sprintf "mean near 100 (%.1f)" mean) true
+    (mean > 75.0 && mean < 130.0);
+  Alcotest.(check bool) "all nonnegative" true (List.for_all (fun x -> x >= 0.0) samples);
+  let no_straggler = Netsim.create (Sim.create ()) (line_topo ()) in
+  Alcotest.(check (float 0.0)) "disabled" 0.0 (Netsim.rule_update_delay no_straggler ~node:0)
+
+let test_control_latency_geo () =
+  let net = Netsim.create (Sim.create ()) (line_topo ()) in
+  (* controller at node 1: latency to node 0 is the 0-1 link. *)
+  Alcotest.(check (float 0.001)) "geo latency" 5.0 (Netsim.control_latency_of net ~node:0);
+  Alcotest.(check (float 0.001)) "geo latency 2" 7.0 (Netsim.control_latency_of net ~node:2)
+
+let suite =
+  [
+    Alcotest.test_case "port numbering" `Quick test_port_numbering;
+    Alcotest.test_case "transmit latency" `Quick test_transmit_latency;
+    Alcotest.test_case "unbound port no-op" `Quick test_unbound_port_is_noop;
+    Alcotest.test_case "controller FIFO serialization" `Quick test_controller_fifo_serialization;
+    Alcotest.test_case "fault: drop" `Quick test_fault_drop;
+    Alcotest.test_case "fault: duplicate" `Quick test_fault_duplicate;
+    Alcotest.test_case "delivery observer" `Quick test_observer_sees_delivery;
+    Alcotest.test_case "straggler distribution" `Quick test_straggler_distribution;
+    Alcotest.test_case "geo control latency" `Quick test_control_latency_geo;
+  ]

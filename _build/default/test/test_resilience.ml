@@ -1,0 +1,133 @@
+(* Tests for the new-flow setup loop (FRM, §6) and the §11 failure
+   handling (UNM-loss watchdog + controller re-trigger). *)
+
+open P4update
+
+let fig1 () = Topo.Topologies.fig1 ()
+
+let test_frm_routes_new_flow () =
+  (* A host injects traffic for a flow nobody installed: the ingress
+     reports it (FRM), the controller computes a shortest path and deploys
+     it blackhole-free; subsequent packets are delivered. *)
+  let w = Harness.World.make (fig1 ()) in
+  let flow_id = Topo.Traffic.flow_id_of_pair ~src:0 ~dst:7 land (Wire.flow_space - 1) in
+  let deliver_probe seq =
+    Switch.inject_data w.switches.(0)
+      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0 }
+  in
+  deliver_probe 0;
+  let _ = Harness.World.run w in
+  (* The route is now installed end to end. *)
+  (match Harness.Fwdcheck.trace w.net w.switches ~flow_id ~src:0 with
+   | Harness.Fwdcheck.Reaches_egress path ->
+     Alcotest.(check int) "starts at ingress" 0 (List.hd path);
+     Alcotest.(check int) "ends at egress" 7 (List.nth path (List.length path - 1))
+   | o -> Alcotest.failf "flow not routed: %a" Harness.Fwdcheck.pp_outcome o);
+  deliver_probe 1;
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "second packet delivered" 1 (Switch.stats w.switches.(7)).Switch.delivered;
+  (* The controller knows the flow now. *)
+  match Controller.find_flow w.controller ~flow_id with
+  | Some flow -> Alcotest.(check int) "version 1 deployed" 1 flow.Controller.version
+  | None -> Alcotest.fail "flow not in the flow DB"
+
+let test_frm_reported_once () =
+  let w = Harness.World.make (fig1 ()) in
+  Controller.set_auto_route w.controller false;
+  let flow_id = Topo.Traffic.flow_id_of_pair ~src:0 ~dst:7 land (Wire.flow_space - 1) in
+  for seq = 0 to 4 do
+    Switch.inject_data w.switches.(0)
+      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0 }
+  done;
+  let _ = Harness.World.run w in
+  (* 5 packets injected, no rule: one FRM, four silent drops. *)
+  Alcotest.(check int) "controller messages" 1
+    (Netsim.counters w.net).Netsim.control_to_controller
+
+let test_watchdog_reports_lost_chain () =
+  (* Drop every UNM: the update cannot make progress; armed switches must
+     alarm the controller after the timeout. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:500.0) w.switches;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  Netsim.set_data_fault w.net (fun ~from:_ ~to_:_ bytes ->
+      match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+      | Some c when c.kind = Wire.Unm -> Netsim.Drop
+      | Some _ | None -> Netsim.Deliver);
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  Alcotest.(check bool) "alarms raised" true (Controller.alarm_count w.controller > 0);
+  (* and the network is still consistent on the old path *)
+  match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+  | Harness.Fwdcheck.Reaches_egress path ->
+    Alcotest.(check (list int)) "still on old path" Topo.Topologies.fig1_old_path path
+  | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let test_retrigger_recovers_from_unm_loss () =
+  (* Drop the first few UNMs; with the watchdog and auto-retrigger the
+     controller re-pushes the indications and the update completes. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:400.0) w.switches;
+  Controller.set_auto_retrigger w.controller true;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let dropped = ref 0 in
+  Netsim.set_data_fault w.net (fun ~from:_ ~to_:_ bytes ->
+      match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+      | Some c when c.kind = Wire.Unm && !dropped < 3 ->
+        incr dropped;
+        Netsim.Drop
+      | Some _ | None -> Netsim.Deliver);
+  let version =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "three UNMs were dropped" 3 !dropped;
+  (match Controller.completion_time w.controller ~flow_id:flow.flow_id ~version with
+   | Some _ -> ()
+   | None -> Alcotest.fail "update never completed despite re-trigger");
+  match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+  | Harness.Fwdcheck.Reaches_egress path ->
+    Alcotest.(check (list int)) "converged to new path" Topo.Topologies.fig1_new_path path
+  | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let test_retrigger_budget_bounded () =
+  (* Permanent UNM loss: the controller must not re-trigger forever. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:300.0) w.switches;
+  Controller.set_auto_retrigger w.controller true;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  Netsim.set_data_fault w.net (fun ~from:_ ~to_:_ bytes ->
+      match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+      | Some c when c.kind = Wire.Unm -> Netsim.Drop
+      | Some _ | None -> Netsim.Deliver);
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let events = Harness.World.run w in
+  (* The simulation terminates (bounded retries) and the old path stays. *)
+  Alcotest.(check bool) "simulation terminated" true (events > 0);
+  match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+  | Harness.Fwdcheck.Reaches_egress path ->
+    Alcotest.(check (list int)) "old path intact" Topo.Topologies.fig1_old_path path
+  | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let suite =
+  [
+    Alcotest.test_case "FRM routes a new flow" `Quick test_frm_routes_new_flow;
+    Alcotest.test_case "FRM reported once" `Quick test_frm_reported_once;
+    Alcotest.test_case "watchdog reports a lost chain" `Quick test_watchdog_reports_lost_chain;
+    Alcotest.test_case "re-trigger recovers from UNM loss" `Quick
+      test_retrigger_recovers_from_unm_loss;
+    Alcotest.test_case "re-trigger budget bounded" `Quick test_retrigger_budget_bounded;
+  ]

@@ -1,0 +1,170 @@
+(* Unit and property tests for distance labelling (§3) and DL
+   segmentation (§3.2). *)
+
+open P4update
+
+let net_of topo =
+  let sim = Dessim.Sim.create () in
+  Netsim.create sim topo
+
+let test_distances () =
+  Alcotest.(check (list (pair int int))) "hops to egress"
+    [ (0, 3); (4, 2); (2, 1); (7, 0) ]
+    (Label.distances Topo.Topologies.fig1_old_path)
+
+let test_labels_fig1 () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  let labels = Label.of_path net Topo.Topologies.fig1_new_path in
+  Alcotest.(check int) "eight labels" 8 (List.length labels);
+  let l0 = Option.get (Label.find labels 0) in
+  Alcotest.(check int) "ingress distance 7" 7 l0.Label.dist_new;
+  Alcotest.(check int) "ingress role" Wire.role_flow_ingress l0.Label.role;
+  Alcotest.(check int) "ingress notify none" Wire.port_none l0.Label.notify_port;
+  let l7 = Option.get (Label.find labels 7) in
+  Alcotest.(check int) "egress distance 0" 0 l7.Label.dist_new;
+  Alcotest.(check int) "egress role" Wire.role_flow_egress l7.Label.role;
+  Alcotest.(check int) "egress port local" Wire.port_local l7.Label.egress_port;
+  (* forwarding ports point along the path *)
+  let l3 = Option.get (Label.find labels 3) in
+  Alcotest.(check (option int)) "v3 forwards to v4" (Some 4)
+    (Netsim.neighbor_of_port net ~node:3 ~port:l3.Label.egress_port);
+  Alcotest.(check (option int)) "v3 notifies v2" (Some 2)
+    (Netsim.neighbor_of_port net ~node:3 ~port:l3.Label.notify_port)
+
+let test_label_rejects_empty () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  Alcotest.check_raises "empty" (Invalid_argument "Label.of_path: empty path") (fun () ->
+      ignore (Label.of_path net []))
+
+let test_segment_rejects_mismatched_endpoints () =
+  Alcotest.check_raises "ingress" (Invalid_argument "Segment.compute: ingress mismatch")
+    (fun () -> ignore (Segment.compute ~old_path:[ 1; 2 ] ~new_path:[ 0; 2 ]));
+  Alcotest.check_raises "egress" (Invalid_argument "Segment.compute: egress mismatch")
+    (fun () -> ignore (Segment.compute ~old_path:[ 0; 2 ] ~new_path:[ 0; 1 ]))
+
+let test_identical_paths_single_forward_chain () =
+  let seg = Segment.compute ~old_path:[ 0; 1; 2 ] ~new_path:[ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "all gateways" [ 0; 1; 2 ] seg.Segment.gateways;
+  Alcotest.(check bool) "all forward" true
+    (List.for_all (fun s -> s.Segment.direction = Segment.Forward) seg.Segment.segments)
+
+let test_disjoint_detour_single_segment () =
+  (* Old 0-1-2, new 0-3-4-2: only the endpoints are shared. *)
+  let seg = Segment.compute ~old_path:[ 0; 1; 2 ] ~new_path:[ 0; 3; 4; 2 ] in
+  Alcotest.(check (list int)) "gateways are endpoints" [ 0; 2 ] seg.Segment.gateways;
+  (match seg.Segment.segments with
+   | [ s ] ->
+     Alcotest.(check (list int)) "interior" [ 3; 4 ] s.Segment.interior;
+     Alcotest.(check bool) "forward" true (s.Segment.direction = Segment.Forward)
+   | _ -> Alcotest.fail "expected one segment")
+
+let test_annotate_roles () =
+  let net = net_of (Topo.Topologies.fig1 ()) in
+  let labels = Label.of_path net Topo.Topologies.fig1_new_path in
+  let seg =
+    Segment.compute ~old_path:Topo.Topologies.fig1_old_path
+      ~new_path:Topo.Topologies.fig1_new_path
+  in
+  let annotated = Segment.annotate seg labels in
+  let role_of n = (Option.get (Label.find annotated n)).Label.role in
+  Alcotest.(check bool) "v2 is gateway" true (role_of 2 land Wire.role_gateway <> 0);
+  Alcotest.(check bool) "v2 is segment egress" true
+    (role_of 2 land Wire.role_segment_egress <> 0);
+  Alcotest.(check bool) "v1 not gateway" true (role_of 1 land Wire.role_gateway = 0);
+  Alcotest.(check bool) "v7 gateway + segment egress + flow egress" true
+    (role_of 7 land (Wire.role_gateway lor Wire.role_segment_egress lor Wire.role_flow_egress)
+     = Wire.role_gateway lor Wire.role_segment_egress lor Wire.role_flow_egress)
+
+let test_forward_helpers () =
+  let seg =
+    Segment.compute ~old_path:Topo.Topologies.fig1_old_path
+      ~new_path:Topo.Topologies.fig1_new_path
+  in
+  Alcotest.(check int) "two forward segments" 2 (Segment.forward_count seg);
+  Alcotest.(check (list int)) "forward interiors" [ 1; 5; 6 ]
+    (List.sort compare (Segment.forward_interior_nodes seg))
+
+(* Property: on random path pairs, segmentation partitions the new path;
+   gateways are exactly the shared nodes; concatenating segments restores
+   the path. *)
+let path_pair_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 100_000 in
+    return seed)
+
+let random_paths seed =
+  let rng = Random.State.make [| seed |] in
+  let g = Topo.Graph.create 12 in
+  for v = 1 to 11 do
+    let u = Random.State.int rng v in
+    Topo.Graph.add_edge g ~u ~v ~latency_ms:1.0 ~capacity:10.0
+  done;
+  for _ = 1 to 10 do
+    let u = Random.State.int rng 12 and v = Random.State.int rng 12 in
+    if u <> v && not (Topo.Graph.has_edge g u v) then
+      Topo.Graph.add_edge g ~u ~v ~latency_ms:1.0 ~capacity:10.0
+  done;
+  match Topo.Graph.k_shortest_paths g ~src:0 ~dst:11 ~k:2 with
+  | [ a; b ] -> Some (a, b)
+  | _ -> None
+
+let prop_segment_partition =
+  QCheck.Test.make ~name:"segments partition the new path at shared nodes" ~count:200
+    (QCheck.make ~print:string_of_int path_pair_gen)
+    (fun seed ->
+      match random_paths seed with
+      | None -> true
+      | Some (old_path, new_path) ->
+        let seg = Segment.compute ~old_path ~new_path in
+        (* Gateways = shared nodes in new-path order. *)
+        let shared = List.filter (fun n -> List.mem n old_path) new_path in
+        if seg.Segment.gateways <> shared then false
+        else begin
+          (* Rebuild the path from the segments. *)
+          let rebuilt =
+            match seg.Segment.segments with
+            | [] -> [ List.hd new_path ]
+            | first :: rest ->
+              List.fold_left
+                (fun acc s ->
+                  acc @ s.Segment.interior @ [ s.Segment.egress_gateway ])
+                (first.Segment.ingress_gateway :: first.Segment.interior
+                 @ [ first.Segment.egress_gateway ])
+                rest
+          in
+          rebuilt = new_path
+        end)
+
+let prop_direction_matches_old_distance =
+  QCheck.Test.make ~name:"segment direction matches old-distance comparison" ~count:200
+    (QCheck.make ~print:string_of_int path_pair_gen)
+    (fun seed ->
+      match random_paths seed with
+      | None -> true
+      | Some (old_path, new_path) ->
+        let seg = Segment.compute ~old_path ~new_path in
+        let dist = Label.distances old_path in
+        List.for_all
+          (fun s ->
+            let d_in = List.assoc s.Segment.ingress_gateway dist in
+            let d_out = List.assoc s.Segment.egress_gateway dist in
+            match s.Segment.direction with
+            | Segment.Forward -> d_out < d_in
+            | Segment.Backward -> d_out >= d_in)
+          seg.Segment.segments)
+
+let suite =
+  [
+    Alcotest.test_case "distance labelling" `Quick test_distances;
+    Alcotest.test_case "fig. 1 labels" `Quick test_labels_fig1;
+    Alcotest.test_case "empty path rejected" `Quick test_label_rejects_empty;
+    Alcotest.test_case "mismatched endpoints rejected" `Quick
+      test_segment_rejects_mismatched_endpoints;
+    Alcotest.test_case "identical paths all forward" `Quick
+      test_identical_paths_single_forward_chain;
+    Alcotest.test_case "disjoint detour single segment" `Quick test_disjoint_detour_single_segment;
+    Alcotest.test_case "annotate roles" `Quick test_annotate_roles;
+    Alcotest.test_case "forward helpers" `Quick test_forward_helpers;
+    QCheck_alcotest.to_alcotest prop_segment_partition;
+    QCheck_alcotest.to_alcotest prop_direction_matches_old_distance;
+  ]

@@ -1,0 +1,155 @@
+(* End-to-end tests for single-layer updates (Alg. 1, §7.1–7.3). *)
+
+open P4update
+
+let fig1 () = Topo.Topologies.fig1 ()
+
+let check_consistent w ~flow_id ~src =
+  let outcome = Harness.Fwdcheck.trace w.Harness.World.net w.Harness.World.switches ~flow_id ~src in
+  Alcotest.(check bool)
+    (Format.asprintf "forwarding consistent (%a)" Harness.Fwdcheck.pp_outcome outcome)
+    true
+    (Harness.Fwdcheck.is_consistent outcome)
+
+let path_of_trace w ~flow_id ~src =
+  match Harness.Fwdcheck.trace w.Harness.World.net w.Harness.World.switches ~flow_id ~src with
+  | Harness.Fwdcheck.Reaches_egress path -> path
+  | o -> Alcotest.failf "flow broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let test_initial_state () =
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let path = path_of_trace w ~flow_id:flow.flow_id ~src:0 in
+  Alcotest.(check (list int)) "initial path" Topo.Topologies.fig1_old_path path
+
+let test_sl_converges () =
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let version =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "version pushed" 2 version;
+  let path = path_of_trace w ~flow_id:flow.flow_id ~src:0 in
+  Alcotest.(check (list int)) "converged to new path" Topo.Topologies.fig1_new_path path;
+  List.iter
+    (fun node ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d at version 2" node)
+        2
+        (Switch.version_of w.switches.(node) ~flow_id:flow.flow_id))
+    Topo.Topologies.fig1_new_path;
+  (match Controller.completion_time w.controller ~flow_id:flow.flow_id ~version with
+   | Some t -> Alcotest.(check bool) "positive completion time" true (t > 0.0)
+   | None -> Alcotest.fail "no success UFM received");
+  Alcotest.(check int) "no alarms" 0 (Controller.alarm_count w.controller)
+
+let test_sl_consistent_throughout () =
+  (* The forwarding state must be loop- and blackhole-free after every
+     single event of the update (Thm. 1). *)
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let steps = ref 0 in
+  while Dessim.Sim.step w.sim do
+    incr steps;
+    check_consistent w ~flow_id:flow.flow_id ~src:0
+  done;
+  Alcotest.(check bool) "simulation progressed" true (!steps > 5)
+
+let test_sl_updates_backwards () =
+  (* Rules must be committed from the egress toward the ingress: when the
+     ingress commits, every other node already has (Thm. 1 blackhole
+     argument). *)
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let order = ref [] in
+  Array.iter
+    (fun sw ->
+      Switch.on_commit sw (fun ~flow_id:_ ~version:_ ~time:_ ->
+          order := Switch.node sw :: !order))
+    w.switches;
+  let _ =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  let order = List.rev !order in
+  Alcotest.(check (list int)) "egress-to-ingress order"
+    (List.rev Topo.Topologies.fig1_new_path)
+    order
+
+let test_two_sequential_sl_updates () =
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let v2 =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  let v3 =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_old_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "second version" 3 v3;
+  Alcotest.(check bool) "versions increase" true (v3 > v2);
+  let path = path_of_trace w ~flow_id:flow.flow_id ~src:0 in
+  Alcotest.(check (list int)) "back on the old path" Topo.Topologies.fig1_old_path path
+
+let test_fast_forward_skips_intermediate () =
+  (* §4.2: push V2 and V3 back-to-back; nodes may skip V2 entirely and the
+     network must converge to V3. *)
+  let w = Harness.World.make (fig1 ()) in
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let _v2 =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  (* Immediately push the next configuration, while U2 is in flight. *)
+  let v3 =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_old_path ~update_type:Wire.Sl ()
+  in
+  let steps = ref 0 in
+  while Dessim.Sim.step w.sim do
+    incr steps;
+    check_consistent w ~flow_id:flow.flow_id ~src:0
+  done;
+  let path = path_of_trace w ~flow_id:flow.flow_id ~src:0 in
+  Alcotest.(check (list int)) "converged to latest version" Topo.Topologies.fig1_old_path path;
+  List.iter
+    (fun node ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d at version %d" node v3)
+        v3
+        (Switch.version_of w.switches.(node) ~flow_id:flow.flow_id))
+    Topo.Topologies.fig1_old_path
+
+let suite =
+  [
+    Alcotest.test_case "initial state forwards on the old path" `Quick test_initial_state;
+    Alcotest.test_case "SL update converges to the new path" `Quick test_sl_converges;
+    Alcotest.test_case "SL keeps consistency after every event" `Quick
+      test_sl_consistent_throughout;
+    Alcotest.test_case "SL commits from egress to ingress" `Quick test_sl_updates_backwards;
+    Alcotest.test_case "two sequential SL updates" `Quick test_two_sequential_sl_updates;
+    Alcotest.test_case "fast-forward to the latest version" `Quick
+      test_fast_forward_skips_intermediate;
+  ]

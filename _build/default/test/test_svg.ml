@@ -1,0 +1,74 @@
+(* Tests for the SVG figure renderer. *)
+
+let series label points = { Harness.Svg.s_label = label; s_points = points }
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_cdf_plot_well_formed () =
+  let svg =
+    Harness.Svg.cdf_plot ~title:"test cdf" ~x_label:"ms"
+      [
+        series "a" [ (1.0, 0.5); (2.0, 1.0) ];
+        series "b" [ (1.5, 0.25); (2.5, 0.75); (3.0, 1.0) ];
+      ]
+  in
+  Alcotest.(check bool) "opens svg" true (contains ~needle:"<svg" svg);
+  Alcotest.(check bool) "closes svg" true (contains ~needle:"</svg>" svg);
+  Alcotest.(check bool) "title present" true (contains ~needle:"test cdf" svg);
+  Alcotest.(check bool) "two paths" true (contains ~needle:"<path" svg);
+  Alcotest.(check bool) "legend entries" true
+    (contains ~needle:">a</text>" svg && contains ~needle:">b</text>" svg)
+
+let test_escaping () =
+  let svg =
+    Harness.Svg.cdf_plot ~title:"a < b & c" ~x_label:"x" [ series "s<1>" [ (0.0, 1.0) ] ]
+  in
+  Alcotest.(check bool) "escaped title" true (contains ~needle:"a &lt; b &amp; c" svg);
+  Alcotest.(check bool) "no raw angle in label" false (contains ~needle:"s<1>" svg)
+
+let test_scatter_and_bars () =
+  let svg =
+    Harness.Svg.scatter_plot ~title:"pts" ~x_label:"t" ~y_label:"seq"
+      [ series "s" [ (0.0, 0.0); (1.0, 2.0); (2.0, 4.0) ] ]
+  in
+  Alcotest.(check bool) "three circles" true (contains ~needle:"<circle" svg);
+  let bars = Harness.Svg.bar_chart ~title:"ratios" ~y_label:"ratio" [ ("b4", 0.7); ("i2", 0.9) ] in
+  Alcotest.(check bool) "bars present" true (contains ~needle:"<rect" bars);
+  Alcotest.(check bool) "value labels" true (contains ~needle:"0.700" bars)
+
+let test_render_files () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "p4u_svg_test" in
+  let r =
+    {
+      Harness.Experiments.f4_p4update = [ 100.0; 120.0; 140.0 ];
+      f4_ez = [ 300.0; 350.0; 420.0 ];
+      f4_speedup = 2.8;
+    }
+  in
+  Harness.Svg.render_fig4 ~dir r;
+  let path = Filename.concat dir "fig4.svg" in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "is svg" true (contains ~needle:"<svg" line);
+  Sys.remove path
+
+let test_degenerate_inputs () =
+  (* Single point, identical values: must not divide by zero. *)
+  let svg = Harness.Svg.cdf_plot ~title:"one" ~x_label:"x" [ series "s" [ (5.0, 1.0) ] ] in
+  Alcotest.(check bool) "renders" true (contains ~needle:"</svg>" svg);
+  let svg2 = Harness.Svg.bar_chart ~title:"zero" ~y_label:"r" [ ("a", 0.0) ] in
+  Alcotest.(check bool) "renders zero bar" true (contains ~needle:"</svg>" svg2)
+
+let suite =
+  [
+    Alcotest.test_case "cdf plot well formed" `Quick test_cdf_plot_well_formed;
+    Alcotest.test_case "xml escaping" `Quick test_escaping;
+    Alcotest.test_case "scatter and bars" `Quick test_scatter_and_bars;
+    Alcotest.test_case "render files" `Quick test_render_files;
+    Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
+  ]

@@ -1,0 +1,210 @@
+(* Exhaustive branch tests for the verification algorithms (Alg. 1/2). *)
+
+open P4update.Verify
+
+let base_node =
+  {
+    ver_cur = 1;
+    dist_cur = 3;
+    ver_prev = 0;
+    dist_prev = 3;
+    counter = 0;
+    last_dual = false;
+    uim_version = 2;
+    uim_distance = 4;
+  }
+
+let base_unm =
+  {
+    u_ver_new = 2;
+    u_ver_old = 1;
+    u_dist_new = 3;
+    u_dist_old = 2;
+    u_counter = 0;
+    u_dual = false;
+    u_committed = false;
+  }
+
+let check name expected actual =
+  Alcotest.(check string) name (decision_to_string expected) (decision_to_string actual)
+
+(* --- Algorithm 1 --- *)
+
+let test_sl_success () =
+  (* Versions match the staged UIM and the parent is one hop closer. *)
+  check "commit" (Commit Via_sl) (sl_verify base_node base_unm)
+
+let test_sl_distance_error () =
+  (* Fig. 6b: identical distances could cause a forwarding loop. *)
+  check "distance error" Reject_distance
+    (sl_verify base_node { base_unm with u_dist_new = 4 });
+  check "distance too small" Reject_distance
+    (sl_verify base_node { base_unm with u_dist_new = 1 })
+
+let test_sl_stale_version () =
+  (* Fig. 6c: falling back to an older update could induce loops. *)
+  check "stale" Reject_stale (sl_verify { base_node with uim_version = 3 } base_unm)
+
+let test_sl_future_version_waits () =
+  (* Alg. 1 l.9-10: the indication has not arrived yet. *)
+  check "wait" Wait_for_uim (sl_verify base_node { base_unm with u_ver_new = 3 })
+
+let test_sl_duplicate_ignored () =
+  (* Node already committed this version: nothing to do. *)
+  check "ignore" Ignore (sl_verify { base_node with ver_cur = 2 } base_unm)
+
+(* --- Algorithm 2 --- *)
+
+let dl_node =
+  (* A gateway one version behind, distance 4 in the new path, old
+     distance (segment id) 3. *)
+  {
+    ver_cur = 1;
+    dist_cur = 3;
+    ver_prev = 0;
+    dist_prev = 3;
+    counter = 0;
+    last_dual = false;
+    uim_version = 2;
+    uim_distance = 4;
+  }
+
+let dl_unm =
+  { u_ver_new = 2; u_ver_old = 1; u_dist_new = 3; u_dist_old = 1; u_counter = 2; u_dual = true;
+    u_committed = false }
+
+let test_dl_gateway_joins_smaller_segment () =
+  (* Proposal with a smaller segment id (old distance): join (§3.2). *)
+  check "gateway commit" (Commit Via_dl_gateway) (dl_verify dl_node dl_unm)
+
+let test_dl_gateway_rejects_larger_segment () =
+  (* v2 rejects v4's initial proposal in Fig. 1: 2 > 1. *)
+  check "reject join" Ignore (dl_verify dl_node { dl_unm with u_dist_old = 5 });
+  check "reject equal" Ignore (dl_verify dl_node { dl_unm with u_dist_old = 3 })
+
+let test_dl_gateway_blocked_after_dual () =
+  (* Thm. 4: a gateway whose previous update was dual-layer cannot take
+     another dual-layer update. *)
+  check "blocked" Ignore (dl_verify { dl_node with last_dual = true } dl_unm)
+
+let test_dl_inside_segment_updates_early () =
+  (* A node lagging more than one version (no rules yet) installs early
+     and inherits the proposal's label. *)
+  let inside = { dl_node with ver_cur = 0; uim_version = 2; uim_distance = 4 } in
+  check "inside commit" (Commit Via_dl_inside) (dl_verify inside dl_unm)
+
+let test_dl_inside_distance_check () =
+  let inside = { dl_node with ver_cur = 0 } in
+  check "inside distance error" Reject_distance
+    (dl_verify inside { dl_unm with u_dist_new = 1 })
+
+let test_dl_label_carrier_inherits_better_label () =
+  (* Already updated: adopt a strictly smaller label and pass it on. *)
+  let updated =
+    { dl_node with ver_cur = 2; ver_prev = 1; dist_cur = 4; dist_prev = 3; counter = 5 }
+  in
+  check "inherit" Inherit_and_pass (dl_verify updated { dl_unm with u_dist_old = 1 })
+
+let test_dl_label_carrier_counter_tiebreak () =
+  let updated =
+    { dl_node with ver_cur = 2; ver_prev = 1; dist_cur = 4; dist_prev = 2; counter = 5 }
+  in
+  (* Same label, smaller hop counter: accept (symmetry breaking). *)
+  check "tie accept" Inherit_and_pass
+    (dl_verify updated { dl_unm with u_dist_old = 2; u_counter = 1 });
+  (* Same label, larger counter: drop. *)
+  check "tie reject" Ignore (dl_verify updated { dl_unm with u_dist_old = 2; u_counter = 9 })
+
+let test_dl_wait_and_stale () =
+  check "wait" Wait_for_uim (dl_verify dl_node { dl_unm with u_ver_new = 3 });
+  check "stale" Reject_stale (dl_verify { dl_node with uim_version = 4 } dl_unm)
+
+(* Property: the SL verifier can never commit to a version at or below the
+   node's committed one (Obs. 1: versions only increase). *)
+let node_gen =
+  QCheck.Gen.(
+    let* ver_cur = int_bound 5 in
+    let* dist_cur = int_bound 8 in
+    let* uim_version = int_bound 5 in
+    let* uim_distance = int_bound 8 in
+    let* dist_prev = int_bound 8 in
+    let* counter = int_bound 4 in
+    let* last_dual = bool in
+    return
+      { ver_cur; dist_cur; ver_prev = max 0 (ver_cur - 1); dist_prev; counter; last_dual;
+        uim_version; uim_distance })
+
+let unm_gen =
+  QCheck.Gen.(
+    let* u_ver_new = int_bound 5 in
+    let* u_dist_new = int_bound 8 in
+    let* u_dist_old = int_bound 8 in
+    let* u_counter = int_bound 4 in
+    let* u_dual = bool in
+    let* u_committed = bool in
+    return
+      { u_ver_new; u_ver_old = max 0 (u_ver_new - 1); u_dist_new; u_dist_old; u_counter;
+        u_dual; u_committed })
+
+let prop_versions_only_increase =
+  QCheck.Test.make ~name:"commits never target an old version (Obs. 1)" ~count:1000
+    (QCheck.make QCheck.Gen.(pair node_gen unm_gen))
+    (fun (node, unm) ->
+      let check_one verify =
+        match verify node unm with
+        | Commit _ -> unm.u_ver_new > node.ver_cur && unm.u_ver_new = node.uim_version
+        | Inherit_and_pass | Wait_for_uim | Reject_stale | Reject_distance | Ignore -> true
+      in
+      check_one sl_verify && check_one dl_verify)
+
+let prop_sl_commit_needs_distance_invariant =
+  QCheck.Test.make ~name:"SL commits only with D(UIM) = D(UNM)+1" ~count:1000
+    (QCheck.make QCheck.Gen.(pair node_gen unm_gen))
+    (fun (node, unm) ->
+      match sl_verify node unm with
+      | Commit _ -> node.uim_distance = unm.u_dist_new + 1
+      | _ -> true)
+
+let prop_dl_gateway_join_decreases_label =
+  QCheck.Test.make ~name:"DL gateway joins only strictly smaller segments" ~count:1000
+    (QCheck.make QCheck.Gen.(pair node_gen unm_gen))
+    (fun (node, unm) ->
+      match dl_verify node unm with
+      | Commit Via_dl_gateway -> node.dist_cur > unm.u_dist_old && not node.last_dual
+      | _ -> true)
+
+let prop_inherit_strictly_improves =
+  QCheck.Test.make ~name:"label inheritance strictly improves (or breaks ties by counter)"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair node_gen unm_gen))
+    (fun (node, unm) ->
+      match dl_verify node unm with
+      | Inherit_and_pass ->
+        node.dist_prev > unm.u_dist_old
+        || (node.dist_prev = unm.u_dist_old && node.counter > unm.u_counter)
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "SL success (Fig. 6a)" `Quick test_sl_success;
+    Alcotest.test_case "SL distance error (Fig. 6b)" `Quick test_sl_distance_error;
+    Alcotest.test_case "SL stale version (Fig. 6c)" `Quick test_sl_stale_version;
+    Alcotest.test_case "SL future version waits" `Quick test_sl_future_version_waits;
+    Alcotest.test_case "SL duplicate ignored" `Quick test_sl_duplicate_ignored;
+    Alcotest.test_case "DL gateway joins smaller segment" `Quick
+      test_dl_gateway_joins_smaller_segment;
+    Alcotest.test_case "DL gateway rejects larger segment" `Quick
+      test_dl_gateway_rejects_larger_segment;
+    Alcotest.test_case "DL gateway blocked after dual (Thm. 4)" `Quick
+      test_dl_gateway_blocked_after_dual;
+    Alcotest.test_case "DL inside nodes update early" `Quick test_dl_inside_segment_updates_early;
+    Alcotest.test_case "DL inside distance check" `Quick test_dl_inside_distance_check;
+    Alcotest.test_case "DL label carrier inherits" `Quick
+      test_dl_label_carrier_inherits_better_label;
+    Alcotest.test_case "DL counter tie-break" `Quick test_dl_label_carrier_counter_tiebreak;
+    Alcotest.test_case "DL wait and stale" `Quick test_dl_wait_and_stale;
+    QCheck_alcotest.to_alcotest prop_versions_only_increase;
+    QCheck_alcotest.to_alcotest prop_sl_commit_needs_distance_invariant;
+    QCheck_alcotest.to_alcotest prop_dl_gateway_join_decreases_label;
+    QCheck_alcotest.to_alcotest prop_inherit_strictly_improves;
+  ]
