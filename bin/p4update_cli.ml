@@ -176,6 +176,65 @@ let fig_cmd =
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one evaluation figure.")
     Term.(const run $ id_arg $ runs_arg)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let scenario_conv =
+    let parse s =
+      match Harness.Chaos.scenario_of_string s with
+      | Some sc -> Ok (Some sc)
+      | None when s = "all" -> Ok None
+      | None -> Error (`Msg (Printf.sprintf "unknown scenario %S (fig1 | b4 | fat-tree | all)" s))
+    in
+    let print fmt = function
+      | Some sc -> Format.pp_print_string fmt (Harness.Chaos.scenario_name sc)
+      | None -> Format.pp_print_string fmt "all"
+    in
+    Arg.conv (parse, print)
+  in
+  let scenario_arg =
+    Arg.(value & opt scenario_conv None
+         & info [ "scenario" ] ~docv:"SC" ~doc:"Scenario: fig1, b4, fat-tree or all.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"N" ~doc:"Run a single seed instead of a range.")
+  in
+  let no_recovery_arg =
+    Arg.(value & flag
+         & info [ "no-recovery" ]
+             ~doc:"Disable the controller's \xc2\xa711 recovery loop (watchdog alarms only).")
+  in
+  let run scenario seed runs no_recovery =
+    let config = { Harness.Chaos.default_config with recovery = not no_recovery } in
+    let scenarios =
+      match scenario with Some sc -> [ sc ] | None -> Harness.Chaos.all_scenarios
+    in
+    let seeds = match seed with Some s -> [ s ] | None -> List.init runs (fun i -> i + 1) in
+    let failed = ref 0 in
+    List.iter
+      (fun sc ->
+        List.iter
+          (fun seed ->
+            let r = Harness.Chaos.run ~config ~scenario:sc ~seed () in
+            print_endline (Harness.Chaos.report_line r);
+            List.iter
+              (fun v ->
+                Printf.printf "  t=%.1fms flow=%d: %s\n" v.Harness.Chaos.v_time
+                  v.Harness.Chaos.v_flow v.Harness.Chaos.v_what)
+              r.Harness.Chaos.r_violations;
+            if not no_recovery && not (Harness.Chaos.ok r) then incr failed)
+          seeds)
+      scenarios;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded chaos schedules (both-plane faults plus link/node failures) and check \
+          the Thm. 1-4 invariants and convergence.")
+    Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg)
+
 (* --- import --- *)
 
 let import_cmd =
@@ -224,4 +283,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
-          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; import_cmd ]))
+          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; chaos_cmd; import_cmd ]))

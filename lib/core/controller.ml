@@ -26,6 +26,18 @@ type report = {
   r_time : float;
 }
 
+type recovery_stats = {
+  mutable retransmissions : int;
+  mutable reroutes : int;
+  mutable resyncs : int;
+}
+
+type recovery = {
+  rc_timeout_ms : float;
+  rc_max_retries : int;
+  rc_stats : recovery_stats;
+}
+
 type t = {
   net : Netsim.t;
   flow_db : (int, flow) Hashtbl.t;
@@ -35,6 +47,7 @@ type t = {
   mutable auto_route : bool;
   mutable auto_retrigger : bool;
   mutable allow_consecutive_dl : bool;
+  mutable recovery : recovery option; (* §11 recovery loop, opt-in *)
   last_pushed : (int, prepared) Hashtbl.t; (* flow id -> last pushed update *)
   retriggers : (int * int, int) Hashtbl.t; (* flow id, version -> count *)
   retrigger_times : (int * int, float) Hashtbl.t;
@@ -135,26 +148,6 @@ let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?(two_phase = fal
   in
   { p_flow = flow_id; p_version = version; p_type; p_uims = uims; p_segments = segments }
 
-let push t prepared =
-  (match find_flow t ~flow_id:prepared.p_flow with
-   | Some flow ->
-     flow.version <- prepared.p_version;
-     flow.path <- List.map fst prepared.p_uims;
-     flow.last_type <- prepared.p_type
-   | None -> ());
-  (* Egress first: the chain of notifications starts at the egress, so its
-     indication should leave the (serialized) controller first. *)
-  Hashtbl.replace t.last_pushed prepared.p_flow prepared;
-  List.iter
-    (fun (node, uim) ->
-      Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
-    (List.rev prepared.p_uims)
-
-let update_flow t ~flow_id ~new_path ?update_type ?two_phase () =
-  let prepared = prepare t ~flow_id ~new_path ?update_type ?two_phase () in
-  push t prepared;
-  prepared.p_version
-
 let reports t = List.rev t.report_log
 
 let completion_time t ~flow_id ~version =
@@ -171,6 +164,152 @@ let completion_time t ~flow_id ~version =
 
 let on_report t f = t.report_hooks <- t.report_hooks @ [ f ]
 let alarm_count t = t.alarms
+let recovery_stats t = Option.map (fun rc -> rc.rc_stats) t.recovery
+
+let path_alive t path =
+  let rec ok = function
+    | [ a ] -> Netsim.node_is_up t.net ~node:a
+    | a :: (b :: _ as rest) ->
+      Netsim.node_is_up t.net ~node:a && Netsim.link_is_up t.net a b && ok rest
+    | [] -> true
+  in
+  ok path
+
+let path_uses_link path u v =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      (a = u && b = v) || (a = v && b = u) || go rest
+    | _ -> false
+  in
+  go path
+
+let send_uims t prepared =
+  (* Egress first: the chain of notifications starts at the egress, so its
+     indication should leave the (serialized) controller first. *)
+  List.iter
+    (fun (node, uim) ->
+      Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
+    (List.rev prepared.p_uims)
+
+(* ------------------------------------------------------------------ *)
+(* Update execution and the §11 recovery loop.
+
+   [push] arms a per-flow timeout when recovery is enabled.  On expiry
+   with no success UFM recorded, the controller either retransmits the
+   same (flow, version) UIM set — duplicates are absorbed by the data
+   plane's version checks, so retransmission is idempotent — with
+   exponential backoff, or, when the pushed path lost a link or node,
+   re-labels and re-segments the flow around the failure ([reroute]).
+   Topology observers drive the event-based half: link/node failures
+   reroute affected flows immediately, and a restarted switch gets its
+   UIB re-synced from the NIB by re-deploying the current path at a
+   fresh version ([resync]). *)
+(* ------------------------------------------------------------------ *)
+
+let rec push t prepared =
+  (match find_flow t ~flow_id:prepared.p_flow with
+   | Some flow ->
+     flow.version <- prepared.p_version;
+     flow.path <- List.map fst prepared.p_uims;
+     flow.last_type <- prepared.p_type
+   | None -> ());
+  Hashtbl.replace t.last_pushed prepared.p_flow prepared;
+  send_uims t prepared;
+  arm_recovery t ~flow_id:prepared.p_flow ~version:prepared.p_version ~attempt:0
+
+and update_flow t ~flow_id ~new_path ?update_type ?two_phase () =
+  let prepared = prepare t ~flow_id ~new_path ?update_type ?two_phase () in
+  push t prepared;
+  prepared.p_version
+
+and arm_recovery t ~flow_id ~version ~attempt =
+  match t.recovery with
+  | None -> ()
+  | Some rc ->
+    let delay = rc.rc_timeout_ms *. (2.0 ** float_of_int attempt) in
+    Sim.schedule (Netsim.sim t.net) ~delay (fun () ->
+        match find_flow t ~flow_id with
+        | Some flow
+          when flow.version = version
+               && completion_time t ~flow_id ~version = None ->
+          if not (path_alive t flow.path) then reroute t flow
+          else if attempt < rc.rc_max_retries then begin
+            (match Hashtbl.find_opt t.last_pushed flow_id with
+             | Some p when p.p_version = version ->
+               rc.rc_stats.retransmissions <- rc.rc_stats.retransmissions + 1;
+               send_uims t p
+             | Some _ | None -> ());
+            arm_recovery t ~flow_id ~version ~attempt:(attempt + 1)
+          end
+        | Some _ | None -> ())
+
+and reroute t (flow : flow) =
+  match t.recovery with
+  | None -> ()
+  | Some rc ->
+    let g = Netsim.graph t.net in
+    let node_ok n = Netsim.node_is_up t.net ~node:n in
+    let edge_ok a b = Netsim.link_is_up t.net a b in
+    (match
+       Topo.Graph.shortest_path_avoiding g ~src:flow.src ~dst:flow.dst ~node_ok ~edge_ok
+     with
+     | Some new_path when new_path <> flow.path ->
+       rc.rc_stats.reroutes <- rc.rc_stats.reroutes + 1;
+       ignore (update_flow t ~flow_id:flow.flow_id ~new_path ())
+     | Some _ | None ->
+       (* No surviving alternative (or already on it): wait for a restore
+          event; [resync]/[kick] picks the flow up again. *)
+       ())
+
+(* A restarted switch lost its UIB: re-deploy the flow's current path at
+   a fresh version, which re-installs rules, re-reserves capacity and
+   regenerates the notification chain end to end. *)
+and resync t (flow : flow) =
+  match t.recovery with
+  | None -> ()
+  | Some rc ->
+    rc.rc_stats.resyncs <- rc.rc_stats.resyncs + 1;
+    ignore (update_flow t ~flow_id:flow.flow_id ~new_path:flow.path ~update_type:Wire.Sl ())
+
+(* A restored link makes a stalled update viable again: retransmit (the
+   backoff timers may have run out while the path was dead). *)
+and kick t (flow : flow) =
+  if completion_time t ~flow_id:flow.flow_id ~version:flow.version = None then
+    if path_alive t flow.path then begin
+      (match t.recovery, Hashtbl.find_opt t.last_pushed flow.flow_id with
+       | Some rc, Some p when p.p_version = flow.version ->
+         rc.rc_stats.retransmissions <- rc.rc_stats.retransmissions + 1;
+         send_uims t p;
+         arm_recovery t ~flow_id:flow.flow_id ~version:flow.version ~attempt:1
+       | _ -> ())
+    end
+    else reroute t flow
+
+let flows_sorted t =
+  List.sort (fun a b -> compare a.flow_id b.flow_id) (flows t)
+
+let flows_affected t ~uses = List.filter (fun f -> uses f.path) (flows_sorted t)
+
+let handle_topo_event t = function
+  | Netsim.Link_down (u, v) ->
+    List.iter (reroute t) (flows_affected t ~uses:(fun p -> path_uses_link p u v))
+  | Netsim.Node_down n ->
+    List.iter (reroute t) (flows_affected t ~uses:(fun p -> List.mem n p))
+  | Netsim.Node_up n -> List.iter (resync t) (flows_affected t ~uses:(fun p -> List.mem n p))
+  | Netsim.Link_up (u, v) ->
+    List.iter (kick t) (flows_affected t ~uses:(fun p -> path_uses_link p u v))
+
+let enable_recovery ?(timeout_ms = 500.0) ?(max_retries = 6) t =
+  if t.recovery = None then begin
+    t.recovery <-
+      Some
+        {
+          rc_timeout_ms = timeout_ms;
+          rc_max_retries = max_retries;
+          rc_stats = { retransmissions = 0; reroutes = 0; resyncs = 0 };
+        };
+    Netsim.on_topology_event t.net (handle_topo_event t)
+  end
 
 (* A new flow reported by the data plane (§6): compute a shortest path and
    deploy it egress-first with SL, so rules exist downstream before any
@@ -228,7 +367,14 @@ let install_handler t =
         if report.r_status <> Wire.ufm_success then t.alarms <- t.alarms + 1;
         t.report_log <- report :: t.report_log;
         List.iter (fun f -> f report) t.report_hooks;
-        if t.auto_retrigger && report.r_status = Wire.ufm_alarm_timeout then retrigger t c
+        if report.r_status = Wire.ufm_alarm_timeout then begin
+          (* §11: a watchdog alarm on a broken path means retransmission
+             cannot help — re-label and re-segment around the failure. *)
+          (match t.recovery, find_flow t ~flow_id:c.flow_id with
+           | Some _, Some flow when not (path_alive t flow.path) -> reroute t flow
+           | _ -> ());
+          if t.auto_retrigger then retrigger t c
+        end
       | Some c when c.kind = Wire.Frm ->
         if t.auto_route && find_flow t ~flow_id:c.flow_id = None then route_new_flow t c
       | Some _ | None -> ())
@@ -244,6 +390,7 @@ let create network =
       auto_route = true;
       auto_retrigger = false;
       allow_consecutive_dl = false;
+      recovery = None;
       last_pushed = Hashtbl.create 32;
       retriggers = Hashtbl.create 32;
       retrigger_times = Hashtbl.create 32;

@@ -38,6 +38,13 @@ type report = {
   r_time : float;
 }
 
+(** Counters of the §11 recovery loop (see {!enable_recovery}). *)
+type recovery_stats = {
+  mutable retransmissions : int; (** idempotent UIM re-sends *)
+  mutable reroutes : int;        (** re-label/re-segment around a failure *)
+  mutable resyncs : int;         (** UIB re-syncs after a switch restart *)
+}
+
 val create : Netsim.t -> t
 
 val net : t -> Netsim.t
@@ -137,6 +144,26 @@ val on_report : t -> (report -> unit) -> unit
 
 (** Number of alarm UFMs received. *)
 val alarm_count : t -> int
+
+(** {2 §11 failure recovery}
+
+    [enable_recovery t] turns on the controller-side recovery loop:
+
+    - every pushed update arms a per-flow timeout ([timeout_ms], doubling
+      on each retry up to [max_retries]); on expiry without a success UFM
+      the controller retransmits the same (flow, version) UIM set —
+      retransmission is idempotent because switches reject non-higher
+      versions and re-acknowledge already-committed ones;
+    - when the flow's path lost a link or node (detected on timeout, on a
+      watchdog alarm, or immediately via a topology observer), the flow is
+      re-labelled and re-segmented onto a shortest surviving path;
+    - when a switch restarts ({!Netsim.Node_up}), every flow through it is
+      re-deployed at a fresh version, re-syncing the blank UIB from the
+      controller's NIB. *)
+val enable_recovery : ?timeout_ms:float -> ?max_retries:int -> t -> unit
+
+(** Recovery counters, when {!enable_recovery} was called. *)
+val recovery_stats : t -> recovery_stats option
 
 (** [install_handler t] wires the controller into the network (listens
     for FRM/UFM).  Called by {!create}; exposed for tests that re-attach. *)

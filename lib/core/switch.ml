@@ -121,8 +121,13 @@ let rec send_upstream t msg ~port =
 
 and fire_commit t flow_id (pc : pending_commit) =
   let u = t.uib in
-  if pc.pc_cancelled || Uib.ver_cur u flow_id >= pc.pc_version then
-    Hashtbl.remove t.pending flow_id
+  (* A commit staged before the node went down must not mutate the state
+     the node restarts with (§11). *)
+  if
+    pc.pc_cancelled
+    || (not (Netsim.node_is_up t.net ~node:t.node))
+    || Uib.ver_cur u flow_id >= pc.pc_version
+  then Hashtbl.remove t.pending flow_id
   else begin
     (* Congestion check happens at commit time so reservations are never
        based on stale capacity (§7.4). *)
@@ -348,18 +353,31 @@ let handle_uim t ctx (c : Wire.control) =
                      ~src:t.node))
            end)
      | Some _ | None -> ());
+    (* Any committed node (egress, gateway or mid-path) replays the exact
+       notification it sent when its rule fired, so the chain restarts
+       from the furthest committed point — not only from the egress. *)
     if
       Uib.ver_cur u flow_id >= c.version_new
-      && c.notify_port <> Wire.port_none
-      && (c.role land Wire.role_flow_egress <> 0
-          || (c.update_type = Wire.Dl && c.role land Wire.role_segment_egress <> 0))
-    then
-      let layer = if c.role land Wire.role_flow_egress <> 0 then 1 else 2 in
+      && Uib.notify_port u flow_id <> Wire.port_none
+    then begin
+      let layer = if Uib.dist_cur u flow_id = 0 then 1 else 2 in
       push_action t
         (Send_upstream
-           ( unm_of_committed t ~flow_id ~layer
-               ~utype:(Wire.update_type_to_int c.update_type),
-             c.notify_port ))
+           ( unm_of_committed t ~flow_id ~layer ~utype:(Uib.last_type u flow_id),
+             Uib.notify_port u flow_id ))
+    end;
+    (* §11: a re-pushed indication reaching an already-committed ingress
+       re-acknowledges the completion — the original success UFM may have
+       been lost on the control channel, and the controller keys its
+       retransmissions on (flow, version). *)
+    if
+      Uib.ver_cur u flow_id >= c.version_new
+      && c.role land Wire.role_flow_ingress <> 0
+      && (c.update_type = Wire.Sl || Uib.dist_prev u flow_id = 0)
+    then
+      push_action t
+        (Send_ufm
+           (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_success ~src:t.node))
   end;
   if accepted then begin
     Hashtbl.remove t.wait_counts flow_id;
@@ -611,16 +629,19 @@ let run_pipeline t ~port bytes =
     outcome.Pipeline.to_controller;
   drain_actions t
 
-let create net ~node =
-  let ports = Netsim.port_count net ~node in
-  let u = Uib.create ~ports in
+(* Port capacities come straight from the topology, in centi-units. *)
+let install_port_capacities net ~node u =
   let graph = Netsim.graph net in
-  (* Port capacities come straight from the topology, in centi-units. *)
   List.iteri
     (fun port neighbor ->
       Uib.set_port_capacity u port
         (int_of_float (Topo.Graph.capacity graph node neighbor *. 100.0)))
-    (Topo.Graph.neighbors graph node);
+    (Topo.Graph.neighbors graph node)
+
+let create net ~node =
+  let ports = Netsim.port_count net ~node in
+  let u = Uib.create ~ports in
+  install_port_capacities net ~node u;
   let t =
     {
       net;
@@ -670,6 +691,21 @@ let create net ~node =
       | Netsim.Data { port; bytes } -> run_pipeline t ~port bytes
       | Netsim.From_controller bytes -> run_pipeline t ~port:cpu_port bytes);
   t
+
+(* §11: a power-cycled switch loses its whole pipeline state — UIB
+   registers, staged commits and the scratch tables around them.  Port
+   capacities are re-read from the (persistent) platform configuration.
+   The controller is expected to re-sync the UIB afterwards. *)
+let restart t =
+  Hashtbl.iter (fun _ pc -> pc.pc_cancelled <- true) t.pending;
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.wait_counts;
+  Hashtbl.reset t.cong_counts;
+  Hashtbl.reset t.frm_sent;
+  Hashtbl.reset t.waiting_on;
+  t.queue <- [];
+  Uib.reset t.uib;
+  install_port_capacities t.net ~node:t.node t.uib
 
 let inject_data t data = run_pipeline t ~port:host_port (Wire.data_to_bytes data)
 

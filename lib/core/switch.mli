@@ -41,6 +41,14 @@ val on_commit : t -> (flow_id:int -> version:int -> time:float -> unit) -> unit
     the ingress pipeline (used by traffic generators). *)
 val inject_data : t -> Wire.data -> unit
 
+(** [restart t] models a power cycle (§11): the UIB registers are reset,
+    staged commits are cancelled and the scratch tables cleared; port
+    capacities are re-installed from the platform configuration.  The
+    controller re-syncs the UIB afterwards (see
+    {!Controller.enable_recovery}).  {!Harness.World} calls this
+    automatically when the network reports {!Netsim.Node_up}. *)
+val restart : t -> unit
+
 (** [install_initial t ~flow_id ~version ~dist ~egress_port ~notify_port
     ~size] writes the committed state directly through the control plane
     (initial deployment, before any measured update). *)

@@ -75,6 +75,10 @@ let registers t =
     t.stamp_tag; t.port_capacity; t.reserved; t.waiters;
   ]
 
+(* A restarted switch comes back with factory-zero registers: every
+   committed rule, staged indication and reservation is gone (§11). *)
+let reset t = List.iter Register.clear (registers t)
+
 (* Freshly created registers are all zero, but "no rule" must read as
    [Wire.port_none]; we keep the raw cells zero-initialized and translate
    port reads instead: a 0 version means "never configured", under which

@@ -14,6 +14,11 @@ val create : ports:int -> t
 (** All registers (for handing to the {!P4rt.Pipeline}). *)
 val registers : t -> P4rt.Register.t list
 
+(** [reset t] zeroes every register — the state of a power-cycled switch
+    (§11).  Port capacities are configuration, not state; the caller
+    re-installs them (see {!Switch.restart}). *)
+val reset : t -> unit
+
 (** {2 Committed per-flow state (Table 1)} *)
 
 val ver_cur : t -> int -> int

@@ -1,0 +1,382 @@
+module Sim = Dessim.Sim
+module Graph = Topo.Graph
+module Topologies = Topo.Topologies
+
+type scenario = Fig1 | B4 | Fat_tree
+
+let scenario_name = function Fig1 -> "fig1" | B4 -> "b4" | Fat_tree -> "fat-tree"
+
+let scenario_of_string = function
+  | "fig1" -> Some Fig1
+  | "b4" -> Some B4
+  | "fat-tree" | "fattree" -> Some Fat_tree
+  | _ -> None
+
+let all_scenarios = [ Fig1; B4; Fat_tree ]
+
+let topo_of = function
+  | Fig1 -> Topologies.fig1 ()
+  | B4 -> Topologies.b4 ()
+  | Fat_tree -> Topologies.fat_tree ~k:4 ()
+
+type config = {
+  flows : int;
+  fault_window_ms : float;
+  horizon_ms : float;
+  probe_interval_ms : float;
+  data_fault_prob : float;
+  control_fault_prob : float;
+  max_element_failures : int;
+  recovery : bool;
+  watchdog_ms : float;
+}
+
+let default_config =
+  {
+    flows = 3;
+    fault_window_ms = 3000.0;
+    horizon_ms = 120_000.0;
+    probe_interval_ms = 500.0;
+    data_fault_prob = 0.08;
+    control_fault_prob = 0.08;
+    max_element_failures = 2;
+    recovery = true;
+    watchdog_ms = 400.0;
+  }
+
+type violation = { v_time : float; v_flow : int; v_what : string }
+
+type report = {
+  r_scenario : scenario;
+  r_seed : int;
+  r_flows : int;
+  r_converged : int;
+  r_baseline_converged : int;
+  r_violations : violation list;
+  r_retransmissions : int;
+  r_reroutes : int;
+  r_resyncs : int;
+  r_alarms : int;
+  r_dropped_by_fault : int;
+  r_dropped_by_failure : int;
+  r_element_failures : int;
+  r_completion_ms : float option;
+  r_baseline_completion_ms : float option;
+  r_trace_hash : int;
+}
+
+let ok r = r.r_violations = [] && r.r_converged = r.r_flows
+
+(* ------------------------------------------------------------------ *)
+(* Workload: a few flows with an old path installed and a planned update
+   to an alternative path, all drawn from the simulation RNG so the run
+   is a pure function of (scenario, seed).                              *)
+(* ------------------------------------------------------------------ *)
+
+type planned = { pl_src : int; pl_dst : int; pl_old : int list; pl_new : int list }
+
+let alt_path g ~old_path ~src ~dst =
+  let candidates = Graph.k_shortest_paths g ~src ~dst ~k:4 in
+  match List.find_opt (fun p -> p <> old_path) candidates with
+  | Some p -> p
+  | None -> old_path
+
+let draw_flows sim topo n =
+  let g = topo.Topologies.graph in
+  let nodes = Graph.node_count g in
+  let seen_ids = Hashtbl.create 8 in
+  let fresh src dst =
+    let id = Topo.Traffic.flow_id_of_pair ~src ~dst land (P4update.Wire.flow_space - 1) in
+    if Hashtbl.mem seen_ids id then false
+    else begin
+      Hashtbl.replace seen_ids id ();
+      true
+    end
+  in
+  let fixed =
+    match topo.Topologies.name with
+    | "fig1" ->
+      let old_path = Topologies.fig1_old_path in
+      let src = List.hd old_path and dst = List.nth old_path (List.length old_path - 1) in
+      ignore (fresh src dst);
+      [ { pl_src = src; pl_dst = dst; pl_old = old_path; pl_new = Topologies.fig1_new_path } ]
+    | _ -> []
+  in
+  let rec draw acc k attempts =
+    if k = 0 || attempts > 200 then List.rev acc
+    else
+      let src = Sim.uniform_int sim ~bound:nodes in
+      let dst = Sim.uniform_int sim ~bound:nodes in
+      if src = dst || not (fresh src dst) then draw acc k (attempts + 1)
+      else
+        match Graph.shortest_path g ~src ~dst with
+        | None -> draw acc k (attempts + 1)
+        | Some old_path ->
+          let pl_new = alt_path g ~old_path ~src ~dst in
+          draw ({ pl_src = src; pl_dst = dst; pl_old = old_path; pl_new } :: acc)
+            (k - 1) attempts
+  in
+  fixed @ draw [] (max 0 (n - List.length fixed)) 0
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedule                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [Corrupt] models a bit flip on the wire.  Control-typed frames (UIM on
+   the control channel, UNM/CLN on data links) carry protocol state, and a
+   real switch discards frames whose FCS fails — so a corrupted control
+   frame is a drop, not a delivery of garbage.  Data-typed frames get the
+   actual bit flip (harmless to forwarding state). *)
+let is_control_frame bytes =
+  match Option.bind (P4update.Wire.packet_of_bytes bytes) P4update.Wire.control_of_packet with
+  | Some _ -> true
+  | None -> false
+
+let draw_verdict sim ~downgrade_corrupt =
+  let x = Sim.uniform sim ~bound:1.0 in
+  if x < 0.40 then Netsim.Drop
+  else if x < 0.70 then Netsim.Delay (5.0 +. Sim.uniform sim ~bound:45.0)
+  else if x < 0.85 then if downgrade_corrupt then Netsim.Drop else Netsim.Corrupt
+  else Netsim.Duplicate
+
+let install_fault_hooks (w : World.t) cfg =
+  let sim = w.World.sim in
+  let active () = Sim.now sim < cfg.fault_window_ms in
+  if cfg.data_fault_prob > 0.0 then
+    Netsim.set_data_fault w.World.net (fun ~from:_ ~to_:_ bytes ->
+        if active () && Sim.uniform sim ~bound:1.0 < cfg.data_fault_prob then
+          draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes)
+        else Netsim.Deliver);
+  if cfg.control_fault_prob > 0.0 then
+    Netsim.set_control_fault w.World.net (fun ~dir:_ bytes ->
+        if active () && Sim.uniform sim ~bound:1.0 < cfg.control_fault_prob then
+          draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes)
+        else Netsim.Deliver)
+
+(* 0 .. max element failures, each restored well inside the fault window
+   so convergence is expected once the window closes. *)
+let schedule_element_failures (w : World.t) cfg =
+  let sim = w.World.sim in
+  let net = w.World.net in
+  let topo = Netsim.topology net in
+  let g = topo.Topologies.graph in
+  let nodes = Graph.node_count g in
+  let edges = Array.of_list (Graph.edges g) in
+  let count =
+    if cfg.max_element_failures <= 0 || cfg.fault_window_ms < 1500.0 then 0
+    else Sim.uniform_int sim ~bound:(cfg.max_element_failures + 1)
+  in
+  for _ = 1 to count do
+    let fail_at = 200.0 +. Sim.uniform sim ~bound:(cfg.fault_window_ms -. 1500.0) in
+    let restore_at = fail_at +. 300.0 +. Sim.uniform sim ~bound:700.0 in
+    if Array.length edges > 0 && Sim.uniform_int sim ~bound:2 = 0 then begin
+      let e = edges.(Sim.uniform_int sim ~bound:(Array.length edges)) in
+      Netsim.fail_link net ~u:e.Graph.u ~v:e.Graph.v ~at:fail_at;
+      Netsim.restore_link net ~u:e.Graph.u ~v:e.Graph.v ~at:restore_at
+    end
+    else begin
+      let rec pick tries =
+        let n = Sim.uniform_int sim ~bound:nodes in
+        if n = topo.Topologies.controller && tries < 50 then pick (tries + 1) else n
+      in
+      let node = pick 0 in
+      Netsim.fail_node net ~node ~at:fail_at;
+      Netsim.restore_node net ~node ~at:restore_at
+    end
+  done;
+  count
+
+(* ------------------------------------------------------------------ *)
+(* Invariant probes (Thm. 1-4)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type probe_state = {
+  mutable violations : violation list;
+  ever_failed : bool array;
+  last_committed : (int * int, int) Hashtbl.t; (* (node, flow) -> version *)
+}
+
+let record ps ~time ~flow what =
+  ps.violations <- { v_time = time; v_flow = flow; v_what = what } :: ps.violations
+
+let install_probes (w : World.t) cfg ps (flows : P4update.Controller.flow list) =
+  let sim = w.World.sim in
+  let net = w.World.net in
+  (* Monotone versions (Thm. 4 / §5): commits at one switch for one flow
+     carry strictly increasing versions — except across a restart, which
+     legitimately wipes the register file. *)
+  Array.iteri
+    (fun node sw ->
+      P4update.Switch.on_commit sw (fun ~flow_id ~version ~time ->
+          let key = (node, flow_id) in
+          (match Hashtbl.find_opt ps.last_committed key with
+           | Some prev when version <= prev ->
+             record ps ~time ~flow:flow_id
+               (Printf.sprintf "non-monotone commit at node %d: %d after %d" node version
+                  prev)
+           | _ -> ());
+          Hashtbl.replace ps.last_committed key version))
+    w.World.switches;
+  Netsim.on_topology_event net (function
+    | Netsim.Node_down n ->
+      ps.ever_failed.(n) <- true;
+      Hashtbl.iter
+        (fun (node, flow) _ -> if node = n then Hashtbl.remove ps.last_committed (node, flow))
+        (Hashtbl.copy ps.last_committed)
+    | _ -> ());
+  (* Periodic structural checks: blackhole / loop freedom (Thm. 1, 2) and
+     capacity freedom (Thm. 3). *)
+  let check_once () =
+    let time = Sim.now sim in
+    List.iter
+      (fun (f : P4update.Controller.flow) ->
+        match
+          Fwdcheck.trace net w.World.switches ~flow_id:f.P4update.Controller.flow_id
+            ~src:f.P4update.Controller.src
+        with
+        | Fwdcheck.Reaches_egress _ -> ()
+        | Fwdcheck.Loop cycle ->
+          record ps ~time ~flow:f.P4update.Controller.flow_id
+            (Printf.sprintf "loop through [%s]"
+               (String.concat ";" (List.map string_of_int cycle)))
+        | Fwdcheck.Blackhole n ->
+          if not (ps.ever_failed.(n) || not (Netsim.node_is_up net ~node:n)) then
+            record ps ~time ~flow:f.P4update.Controller.flow_id
+              (Printf.sprintf "blackhole at healthy node %d" n))
+      flows;
+    List.iter
+      (fun (node, port, reserved, capacity) ->
+        record ps ~time ~flow:(-1)
+          (Printf.sprintf "over-capacity at node %d port %d: %d > %d" node port reserved
+             capacity))
+      (Fwdcheck.link_violations net w.World.switches)
+  in
+  let rec arm time =
+    if time <= cfg.horizon_ms then
+      Sim.schedule_at sim ~time (fun () ->
+          check_once ();
+          arm (time +. cfg.probe_interval_ms))
+  in
+  arm cfg.probe_interval_ms
+
+(* ------------------------------------------------------------------ *)
+(* One run                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let hash_combine h x = ((h * 1000003) lxor x) land 0x3FFFFFFF
+
+let run_one ~scenario ~seed ~cfg =
+  let topo = topo_of scenario in
+  let w = World.make ~seed topo in
+  let trace_hash = ref 0x1505 in
+  Netsim.on_delivery w.World.net (fun time node port bytes ->
+      trace_hash :=
+        hash_combine !trace_hash
+          (Hashtbl.hash (int_of_float (time *. 1000.0), node, port, Bytes.to_string bytes)));
+  Array.iter
+    (fun sw -> P4update.Switch.enable_watchdog sw ~timeout_ms:cfg.watchdog_ms)
+    w.World.switches;
+  if cfg.recovery then P4update.Controller.enable_recovery w.World.controller;
+  (* Workload first, fault schedule second: a fault-free baseline run of
+     the same seed draws the identical workload. *)
+  let planned = draw_flows w.World.sim topo cfg.flows in
+  let flows =
+    List.map
+      (fun pl ->
+        World.install_flow w ~src:pl.pl_src ~dst:pl.pl_dst ~size:100 ~path:pl.pl_old)
+      planned
+  in
+  List.iter2
+    (fun pl (f : P4update.Controller.flow) ->
+      let at = 100.0 +. Sim.uniform w.World.sim ~bound:(cfg.fault_window_ms /. 2.0) in
+      Sim.schedule_at w.World.sim ~time:at (fun () ->
+          ignore
+            (P4update.Controller.update_flow w.World.controller
+               ~flow_id:f.P4update.Controller.flow_id ~new_path:pl.pl_new ())))
+    planned flows;
+  install_fault_hooks w cfg;
+  let element_failures = schedule_element_failures w cfg in
+  let ps =
+    {
+      violations = [];
+      ever_failed = Array.make (Graph.node_count topo.Topologies.graph) false;
+      last_committed = Hashtbl.create 64;
+    }
+  in
+  install_probes w cfg ps flows;
+  ignore (World.run ~until:cfg.horizon_ms w);
+  let converged, completion =
+    List.fold_left
+      (fun (n, latest) (f : P4update.Controller.flow) ->
+        let structurally_ok =
+          match
+            Fwdcheck.trace w.World.net w.World.switches
+              ~flow_id:f.P4update.Controller.flow_id ~src:f.P4update.Controller.src
+          with
+          | Fwdcheck.Reaches_egress path -> path = f.P4update.Controller.path
+          | _ -> false
+        in
+        let t =
+          P4update.Controller.completion_time w.World.controller
+            ~flow_id:f.P4update.Controller.flow_id ~version:f.P4update.Controller.version
+        in
+        if structurally_ok then
+          ( n + 1,
+            match (latest, t) with
+            | Some a, Some b -> Some (Float.max a b)
+            | None, t -> t
+            | t, None -> t )
+        else (n, latest))
+      (0, None) flows
+  in
+  let stats = Netsim.counters w.World.net in
+  let rstats = P4update.Controller.recovery_stats w.World.controller in
+  let get f = match rstats with Some s -> f s | None -> 0 in
+  {
+    r_scenario = scenario;
+    r_seed = seed;
+    r_flows = List.length flows;
+    r_converged = converged;
+    r_baseline_converged = 0;
+    r_violations = List.rev ps.violations;
+    r_retransmissions = get (fun s -> s.P4update.Controller.retransmissions);
+    r_reroutes = get (fun s -> s.P4update.Controller.reroutes);
+    r_resyncs = get (fun s -> s.P4update.Controller.resyncs);
+    r_alarms = P4update.Controller.alarm_count w.World.controller;
+    r_dropped_by_fault = stats.Netsim.dropped_by_fault;
+    r_dropped_by_failure = stats.Netsim.dropped_by_failure;
+    r_element_failures = element_failures;
+    r_completion_ms = completion;
+    r_baseline_completion_ms = None;
+    r_trace_hash = !trace_hash;
+  }
+
+let run ?(config = default_config) ~scenario ~seed () =
+  let faulty = run_one ~scenario ~seed ~cfg:config in
+  let baseline =
+    run_one ~scenario ~seed
+      ~cfg:{ config with data_fault_prob = 0.0; control_fault_prob = 0.0;
+             max_element_failures = 0 }
+  in
+  {
+    faulty with
+    r_baseline_converged = baseline.r_converged;
+    r_baseline_completion_ms = baseline.r_completion_ms;
+  }
+
+let report_line r =
+  let verdict = if ok r then "ok" else "FAIL" in
+  let completion = function
+    | Some t -> Printf.sprintf "%.0fms" t
+    | None -> "never"
+  in
+  Printf.sprintf
+    "chaos %-8s seed=%-3d %s: %d/%d converged (baseline %d/%d, %s vs %s), %d violations, \
+     retx=%d reroutes=%d resyncs=%d alarms=%d, drops fault=%d failure=%d, failures=%d, \
+     hash=%08x"
+    (scenario_name r.r_scenario) r.r_seed verdict r.r_converged r.r_flows
+    r.r_baseline_converged r.r_flows
+    (completion r.r_completion_ms)
+    (completion r.r_baseline_completion_ms)
+    (List.length r.r_violations) r.r_retransmissions r.r_reroutes r.r_resyncs r.r_alarms
+    r.r_dropped_by_fault r.r_dropped_by_failure r.r_element_failures r.r_trace_hash

@@ -1,0 +1,76 @@
+(** Seeded chaos harness (§11): random fault schedules on both planes,
+    scheduled link/node failures, invariant probes and a convergence
+    verdict, reproducible from a single seed.
+
+    A run draws a small workload (old path installed, an update to an
+    alternative path scheduled mid-window), then injects stochastic
+    faults — drop, delay, reorder-via-delay, corrupt, duplicate — on the
+    data plane and the control channel for the duration of the fault
+    window, plus up to two link/node failures (each restored within the
+    window).  Every [probe_interval_ms] the forwarding state of every
+    flow is checked against the Thm. 1–4 invariants:
+
+    - no loop, ever;
+    - no blackhole at a node that never failed;
+    - no over-capacity link;
+    - per-switch committed versions strictly increase (reset only by a
+      switch restart).
+
+    Corrupted control-typed frames are dropped rather than delivered
+    (the Ethernet-FCS model); data frames get an actual bit flip.
+
+    The same (scenario, seed, config) reproduces the same run, byte for
+    byte ([r_trace_hash] is a digest of every data-plane delivery).  The
+    report also contains the fault-free baseline of the same seed for a
+    one-line degradation summary ({!report_line}). *)
+
+type scenario = Fig1 | B4 | Fat_tree
+
+val scenario_name : scenario -> string
+val scenario_of_string : string -> scenario option
+val all_scenarios : scenario list
+
+type config = {
+  flows : int;                  (** workload size (fig1 always includes the Fig. 1 flow) *)
+  fault_window_ms : float;      (** faults and failures stop after this time *)
+  horizon_ms : float;           (** simulation bound for the convergence verdict *)
+  probe_interval_ms : float;
+  data_fault_prob : float;      (** per-packet fault probability, data plane *)
+  control_fault_prob : float;   (** per-message fault probability, control channel *)
+  max_element_failures : int;   (** 0–n scheduled link/node failures *)
+  recovery : bool;              (** arm {!P4update.Controller.enable_recovery} *)
+  watchdog_ms : float;          (** switch watchdog timeout (§11) *)
+}
+
+val default_config : config
+
+type violation = { v_time : float; v_flow : int; v_what : string }
+
+type report = {
+  r_scenario : scenario;
+  r_seed : int;
+  r_flows : int;
+  r_converged : int;   (** flows whose final forwarding state matches the NIB *)
+  r_baseline_converged : int;
+  r_violations : violation list;
+  r_retransmissions : int;
+  r_reroutes : int;
+  r_resyncs : int;
+  r_alarms : int;
+  r_dropped_by_fault : int;
+  r_dropped_by_failure : int;
+  r_element_failures : int;
+  r_completion_ms : float option;  (** last flow's success UFM, when all reported *)
+  r_baseline_completion_ms : float option;
+  r_trace_hash : int;              (** digest of all data-plane deliveries *)
+}
+
+(** All invariants held and every flow converged. *)
+val ok : report -> bool
+
+(** [run ~scenario ~seed ()] executes the faulty run and its fault-free
+    baseline (identical workload) and merges both into one report. *)
+val run : ?config:config -> scenario:scenario -> seed:int -> unit -> report
+
+(** One-line degradation summary. *)
+val report_line : report -> string

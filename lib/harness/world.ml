@@ -13,6 +13,16 @@ let make ?seed ?config topo =
   let n = Topo.Graph.node_count topo.Topo.Topologies.graph in
   let switches = Array.init n (fun node -> P4update.Switch.create net ~node) in
   let controller = P4update.Controller.create net in
+  (* Split the network's control-plane counters by wire kind (FRM/UIM/...). *)
+  Netsim.set_control_classifier net (fun bytes ->
+      match Option.bind (P4update.Wire.packet_of_bytes bytes) P4update.Wire.control_of_packet with
+      | Some c -> Some (P4update.Wire.msg_kind_to_int c.kind)
+      | None -> None);
+  (* A node that comes back up lost its pipeline state (§11). *)
+  Netsim.on_topology_event net (function
+    | Netsim.Node_up node when node >= 0 && node < n ->
+      P4update.Switch.restart switches.(node)
+    | _ -> ());
   { sim; net; switches; controller }
 
 let install_flow w ~src ~dst ~size ~path =

@@ -28,9 +28,19 @@ let default_config =
 
 type fault = Deliver | Drop | Delay of float | Corrupt | Duplicate
 
+type ctl_direction = To_switch of int | To_controller of int
+
+type topo_event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int
+  | Node_up of int
+
 type event =
   | Data of { port : int; bytes : Bytes.t }
   | From_controller of Bytes.t
+
+let kind_space = 8
 
 type counters = {
   mutable data_packets : int;
@@ -38,6 +48,11 @@ type counters = {
   mutable control_to_controller : int;
   mutable resubmissions : int;
   mutable dropped_by_fault : int;
+  mutable delayed_by_fault : int;
+  mutable corrupted_by_fault : int;
+  mutable duplicated_by_fault : int;
+  mutable dropped_by_failure : int;
+  control_kind_tx : int array; (* per wire msg kind; slot 0 = unclassified *)
 }
 
 type t = {
@@ -48,7 +63,12 @@ type t = {
   mutable handlers : (event -> unit) array;
   mutable controller_handler : (from:int -> Bytes.t -> unit) option;
   mutable data_fault : (from:int -> to_:int -> Bytes.t -> fault) option;
+  mutable control_fault : (dir:ctl_direction -> Bytes.t -> fault) option;
+  mutable control_classifier : (Bytes.t -> int option) option;
   mutable observers : (float -> int -> int -> Bytes.t -> unit) list;
+  mutable topo_observers : (topo_event -> unit) list;
+  node_down : bool array;
+  link_failed : (int * int, unit) Hashtbl.t; (* normalized (min, max) *)
   ctl_latency : float array; (* per-node control-plane latency (Geo/Fixed) *)
   mutable controller_busy_until : float;
   stats : counters;
@@ -80,7 +100,12 @@ let create ?(config = default_config) sim topo =
     handlers = Array.make n (fun _ -> ());
     controller_handler = None;
     data_fault = None;
+    control_fault = None;
+    control_classifier = None;
     observers = [];
+    topo_observers = [];
+    node_down = Array.make n false;
+    link_failed = Hashtbl.create 8;
     ctl_latency = compute_ctl_latencies topo config;
     controller_busy_until = 0.0;
     stats =
@@ -90,6 +115,11 @@ let create ?(config = default_config) sim topo =
         control_to_controller = 0;
         resubmissions = 0;
         dropped_by_fault = 0;
+        delayed_by_fault = 0;
+        corrupted_by_fault = 0;
+        duplicated_by_fault = 0;
+        dropped_by_failure = 0;
+        control_kind_tx = Array.make kind_space 0;
       };
   }
 
@@ -98,6 +128,8 @@ let topology t = t.topo
 let graph t = t.topo.Topologies.graph
 let config t = t.cfg
 let counters t = t.stats
+let control_kind_count t ~kind =
+  if kind < 0 || kind >= kind_space then 0 else t.stats.control_kind_tx.(kind)
 
 let port_count t ~node = Array.length t.ports.(node)
 
@@ -120,7 +152,60 @@ let attach t ~node handler = t.handlers.(node) <- handler
 let set_controller t handler = t.controller_handler <- Some handler
 let set_data_fault t hook = t.data_fault <- Some hook
 let clear_data_fault t = t.data_fault <- None
+let set_control_fault t hook = t.control_fault <- Some hook
+let clear_control_fault t = t.control_fault <- None
+let set_control_classifier t f = t.control_classifier <- Some f
 let on_delivery t f = t.observers <- t.observers @ [ f ]
+let on_topology_event t f = t.topo_observers <- t.topo_observers @ [ f ]
+
+(* ------------------------------------------------------------------ *)
+(* Topology failures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let link_key u v = (min u v, max u v)
+
+let node_is_up t ~node = not t.node_down.(node)
+let link_is_up t u v = not (Hashtbl.mem t.link_failed (link_key u v))
+
+let fire_topo_event t ev = List.iter (fun f -> f ev) t.topo_observers
+
+let check_link t u v fn =
+  if not (Graph.has_edge (graph t) u v) then
+    invalid_arg (Printf.sprintf "Netsim.%s: no link %d-%d" fn u v)
+
+let fail_link t ~u ~v ~at =
+  check_link t u v "fail_link";
+  Sim.schedule_at t.sim ~time:at (fun () ->
+      if link_is_up t u v then begin
+        Hashtbl.replace t.link_failed (link_key u v) ();
+        fire_topo_event t (Link_down (u, v))
+      end)
+
+let restore_link t ~u ~v ~at =
+  check_link t u v "restore_link";
+  Sim.schedule_at t.sim ~time:at (fun () ->
+      if not (link_is_up t u v) then begin
+        Hashtbl.remove t.link_failed (link_key u v);
+        fire_topo_event t (Link_up (u, v))
+      end)
+
+let fail_node t ~node ~at =
+  Sim.schedule_at t.sim ~time:at (fun () ->
+      if node_is_up t ~node then begin
+        t.node_down.(node) <- true;
+        fire_topo_event t (Node_down node)
+      end)
+
+let restore_node t ~node ~at =
+  Sim.schedule_at t.sim ~time:at (fun () ->
+      if not (node_is_up t ~node) then begin
+        t.node_down.(node) <- false;
+        fire_topo_event t (Node_up node)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Latency and faults                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let sample_ctl_latency t ~node =
   match t.cfg.control_latency with
@@ -138,38 +223,85 @@ let corrupt_bytes rng bytes =
   end;
   b
 
-let deliver_data t ~node ~port bytes delay =
+let duplicate_gap_ms = 0.01
+
+(* Apply a fault verdict to a packet.  The duplicate's extra copy is put
+   through the hook at most once more (it may itself be dropped, delayed
+   or corrupted), and a [Duplicate] verdict on the copy is absorbed as
+   [Deliver] so duplicate-of-duplicate storms are impossible. *)
+let rec apply_fault t ~hook ~deliver ~delay ~dup_budget bytes =
+  match hook bytes with
+  | Deliver -> deliver bytes delay
+  | Drop -> t.stats.dropped_by_fault <- t.stats.dropped_by_fault + 1
+  | Delay extra ->
+    t.stats.delayed_by_fault <- t.stats.delayed_by_fault + 1;
+    deliver bytes (delay +. Float.max 0.0 extra)
+  | Corrupt ->
+    t.stats.corrupted_by_fault <- t.stats.corrupted_by_fault + 1;
+    deliver (corrupt_bytes (Sim.rng t.sim) bytes) delay
+  | Duplicate when dup_budget <= 0 -> deliver bytes delay
+  | Duplicate ->
+    t.stats.duplicated_by_fault <- t.stats.duplicated_by_fault + 1;
+    deliver bytes delay;
+    apply_fault t ~hook ~deliver
+      ~delay:(delay +. duplicate_gap_ms)
+      ~dup_budget:(dup_budget - 1) bytes
+
+let no_fault _ = Deliver
+
+(* ------------------------------------------------------------------ *)
+(* Data plane                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_data t ~via ~node ~port bytes delay =
   Sim.schedule t.sim ~delay (fun () ->
-      t.stats.data_packets <- t.stats.data_packets + 1;
-      List.iter (fun f -> f (Sim.now t.sim) node port bytes) t.observers;
-      t.handlers.(node) (Data { port; bytes }))
+      (* A packet in flight is lost if the link or the receiver went down
+         before it arrived. *)
+      if t.node_down.(node) || not (link_is_up t via node) then
+        t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+      else begin
+        t.stats.data_packets <- t.stats.data_packets + 1;
+        List.iter (fun f -> f (Sim.now t.sim) node port bytes) t.observers;
+        t.handlers.(node) (Data { port; bytes })
+      end)
 
 let transmit t ~from ~port bytes =
   match neighbor_of_port t ~node:from ~port with
   | None -> () (* unbound port: packet leaves the modelled network *)
   | Some neighbor ->
-    let link = Graph.latency (graph t) from neighbor in
-    let delay = link +. t.cfg.switch_processing_ms in
-    let rx_port = port_of_neighbor t ~node:neighbor ~neighbor:from in
-    let action =
-      match t.data_fault with
-      | None -> Deliver
-      | Some hook -> hook ~from ~to_:neighbor bytes
-    in
-    (match action with
-     | Deliver -> deliver_data t ~node:neighbor ~port:rx_port bytes delay
-     | Drop -> t.stats.dropped_by_fault <- t.stats.dropped_by_fault + 1
-     | Delay extra -> deliver_data t ~node:neighbor ~port:rx_port bytes (delay +. extra)
-     | Corrupt ->
-       deliver_data t ~node:neighbor ~port:rx_port (corrupt_bytes (Sim.rng t.sim) bytes) delay
-     | Duplicate ->
-       deliver_data t ~node:neighbor ~port:rx_port bytes delay;
-       deliver_data t ~node:neighbor ~port:rx_port bytes (delay +. 0.01))
+    if t.node_down.(from) then () (* a dead node emits nothing *)
+    else if t.node_down.(neighbor) || not (link_is_up t from neighbor) then
+      t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+    else begin
+      let link = Graph.latency (graph t) from neighbor in
+      let delay = link +. t.cfg.switch_processing_ms in
+      let rx_port = port_of_neighbor t ~node:neighbor ~neighbor:from in
+      let hook =
+        match t.data_fault with
+        | None -> no_fault
+        | Some hook -> hook ~from ~to_:neighbor
+      in
+      apply_fault t ~hook
+        ~deliver:(fun bytes delay ->
+          deliver_data t ~via:from ~node:neighbor ~port:rx_port bytes delay)
+        ~delay ~dup_budget:1 bytes
+    end
 
 let resubmit t ~node bytes =
   t.stats.resubmissions <- t.stats.resubmissions + 1;
   Sim.schedule t.sim ~delay:t.cfg.resubmit_delay_ms (fun () ->
-      t.handlers.(node) (Data { port = -1; bytes }))
+      if node_is_up t ~node then t.handlers.(node) (Data { port = -1; bytes }))
+
+(* ------------------------------------------------------------------ *)
+(* Control plane                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let classify_control t bytes =
+  match t.control_classifier with
+  | None -> ()
+  | Some f ->
+    let kind = match f bytes with Some k when k > 0 && k < kind_space -> k | _ -> 0 in
+    t.stats.control_kind_tx.(kind) <- t.stats.control_kind_tx.(kind) + 1
 
 (* The controller is a single-thread FIFO server: each message (in either
    direction) occupies it for [controller_service_ms]. *)
@@ -183,22 +315,45 @@ let controller_slot t =
   t.controller_busy_until <- start +. t.cfg.controller_service_ms +. background;
   t.controller_busy_until -. now
 
+let control_hook t ~dir =
+  match t.control_fault with None -> no_fault | Some hook -> hook ~dir
+
 let notify_controller t ~from bytes =
-  t.stats.control_to_controller <- t.stats.control_to_controller + 1;
-  let uplink = sample_ctl_latency t ~node:from in
-  Sim.schedule t.sim ~delay:uplink (fun () ->
-      let service_done = controller_slot t in
-      Sim.schedule t.sim ~delay:service_done (fun () ->
-          match t.controller_handler with
-          | Some handler -> handler ~from bytes
-          | None -> ()))
+  if t.node_down.(from) then
+    t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+  else begin
+    t.stats.control_to_controller <- t.stats.control_to_controller + 1;
+    classify_control t bytes;
+    let uplink = sample_ctl_latency t ~node:from in
+    apply_fault t
+      ~hook:(control_hook t ~dir:(To_controller from))
+      ~deliver:(fun bytes delay ->
+        Sim.schedule t.sim ~delay (fun () ->
+            let service_done = controller_slot t in
+            Sim.schedule t.sim ~delay:service_done (fun () ->
+                match t.controller_handler with
+                | Some handler -> handler ~from bytes
+                | None -> ())))
+      ~delay:uplink ~dup_budget:1 bytes
+  end
 
 let controller_transmit t ~to_ bytes =
   t.stats.control_to_switch <- t.stats.control_to_switch + 1;
+  classify_control t bytes;
+  (* The controller's FIFO slot is paid once at send time; wire-level
+     faults (including duplication) happen after the serialization
+     point. *)
   let service_done = controller_slot t in
   let downlink = sample_ctl_latency t ~node:to_ in
-  Sim.schedule t.sim ~delay:(service_done +. downlink +. t.cfg.switch_processing_ms)
-    (fun () -> t.handlers.(to_) (From_controller bytes))
+  apply_fault t
+    ~hook:(control_hook t ~dir:(To_switch to_))
+    ~deliver:(fun bytes delay ->
+      Sim.schedule t.sim ~delay (fun () ->
+          if t.node_down.(to_) then
+            t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+          else t.handlers.(to_) (From_controller bytes)))
+    ~delay:(service_done +. downlink +. t.cfg.switch_processing_ms)
+    ~dup_budget:1 bytes
 
 let rule_update_delay t ~node =
   ignore node;

@@ -43,6 +43,21 @@ val default_config : config
 (** Action returned by a fault hook for a packet in flight. *)
 type fault = Deliver | Drop | Delay of float | Corrupt | Duplicate
 
+(** Direction of a control-channel message, for {!set_control_fault}:
+    [To_switch node] is a controller-to-switch downlink message (UIM),
+    [To_controller node] a switch-to-controller uplink message
+    (FRM/UFM). *)
+type ctl_direction = To_switch of int | To_controller of int
+
+(** Scheduled topology changes (see {!fail_link} etc.).  Observers
+    registered with {!on_topology_event} see each transition once, at its
+    simulated time. *)
+type topo_event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int
+  | Node_up of int
+
 type event =
   | Data of { port : int; bytes : Bytes.t }  (** data-plane arrival *)
   | From_controller of Bytes.t               (** control-plane downlink *)
@@ -90,10 +105,41 @@ val controller_transmit : t -> to_:int -> Bytes.t -> unit
     straggler distribution when configured, else 0. *)
 val rule_update_delay : t -> node:int -> float
 
-(** {2 Fault injection (data-plane links)} *)
+(** {2 Fault injection} *)
 
+(** [set_data_fault t hook] intercepts every data-plane transmission.
+    A [Duplicate] verdict delivers the packet twice; the extra copy is
+    itself put through the hook at most once more (so the copy can still
+    be dropped, delayed or corrupted), and a [Duplicate] verdict on the
+    copy is absorbed — duplication storms are impossible. *)
 val set_data_fault : t -> (from:int -> to_:int -> Bytes.t -> fault) -> unit
 val clear_data_fault : t -> unit
+
+(** [set_control_fault t hook] is the control-channel counterpart of
+    {!set_data_fault}: it intercepts every {!controller_transmit} (as
+    [To_switch node]) and {!notify_controller} (as [To_controller node])
+    message, with the same fault and duplication semantics. *)
+val set_control_fault : t -> (dir:ctl_direction -> Bytes.t -> fault) -> unit
+val clear_control_fault : t -> unit
+
+(** {2 Scheduled topology failures}
+
+    A failed link loses every packet sent or in flight over it; a failed
+    node emits nothing, receives nothing (messages to it are lost, not
+    queued) and is expected to lose its pipeline state — the harness
+    resets the switch's UIB registers when it observes [Node_up]
+    (restart).  All transitions are scheduled at absolute simulated
+    times and are observable through {!on_topology_event}. *)
+
+val fail_link : t -> u:int -> v:int -> at:float -> unit
+val restore_link : t -> u:int -> v:int -> at:float -> unit
+val fail_node : t -> node:int -> at:float -> unit
+val restore_node : t -> node:int -> at:float -> unit
+
+val node_is_up : t -> node:int -> bool
+val link_is_up : t -> int -> int -> bool
+
+val on_topology_event : t -> (topo_event -> unit) -> unit
 
 (** {2 Observation} *)
 
@@ -107,9 +153,27 @@ type counters = {
   mutable control_to_controller : int;
   mutable resubmissions : int;
   mutable dropped_by_fault : int;
+  mutable delayed_by_fault : int;
+  mutable corrupted_by_fault : int;
+  mutable duplicated_by_fault : int;
+  mutable dropped_by_failure : int;
+      (** lost to a failed link or node (either plane) *)
+  control_kind_tx : int array;
+      (** control-channel sends per wire message kind, as classified by
+          {!set_control_classifier}; slot 0 counts unclassified sends *)
 }
 
 val counters : t -> counters
+
+(** [set_control_classifier t f] installs the function used to split the
+    control-message counters by wire kind ([f bytes] returns the kind
+    tag, e.g. {!P4update.Wire.msg_kind_to_int}).  The network layer
+    itself is payload-agnostic, so without a classifier all control
+    sends land in slot 0. *)
+val set_control_classifier : t -> (Bytes.t -> int option) -> unit
+
+(** Control-channel sends recorded for [kind] (both directions). *)
+val control_kind_count : t -> kind:int -> int
 
 (** Per-switch control-plane latency used by this network (for analysis). *)
 val control_latency_of : t -> node:int -> float

@@ -175,6 +175,20 @@ let shortest_path g ~src ~dst =
     | None -> None
     | Some (path, _) -> Some path
 
+let shortest_path_avoiding g ~src ~dst ~node_ok ~edge_ok =
+  check_node g src "shortest_path_avoiding";
+  check_node g dst "shortest_path_avoiding";
+  if not (node_ok src && node_ok dst) then None
+  else if src = dst then Some [ src ]
+  else
+    match
+      dijkstra_masked g ~src ~dst
+        ~blocked_node:(fun n -> not (node_ok n))
+        ~blocked_edge:(fun u v -> not (edge_ok u v))
+    with
+    | None -> None
+    | Some (path, _) -> Some path
+
 let path_latency g = function
   | [] | [ _ ] -> 0.0
   | path ->

@@ -51,6 +51,19 @@ val is_connected : t -> bool
     (latency, hop-count, node-id) tie-breaking for determinism. *)
 val shortest_path : t -> src:int -> dst:int -> int list option
 
+(** [shortest_path_avoiding g ~src ~dst ~node_ok ~edge_ok] is
+    {!shortest_path} restricted to the subgraph of nodes with
+    [node_ok n] and edges with [edge_ok u v] (used to route around
+    failed elements without copying the graph).  [None] when [src] or
+    [dst] is excluded or no surviving path exists. *)
+val shortest_path_avoiding :
+  t ->
+  src:int ->
+  dst:int ->
+  node_ok:(int -> bool) ->
+  edge_ok:(int -> int -> bool) ->
+  int list option
+
 (** [k_shortest_paths g ~src ~dst ~k] are up to [k] loop-free paths in
     non-decreasing latency order (Yen's algorithm). *)
 val k_shortest_paths : t -> src:int -> dst:int -> k:int -> int list list

@@ -17,6 +17,7 @@ let () =
       ("dl-update", Test_dl_update.suite);
       ("consistency", Test_consistency.suite);
       ("resilience", Test_resilience.suite);
+      ("chaos", Test_chaos.suite);
       ("consecutive-dl", Test_consecutive_dl.suite);
       ("two-phase", Test_two_phase.suite);
       ("inconsistency", Test_inconsistency.suite);

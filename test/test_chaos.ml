@@ -1,0 +1,73 @@
+(* Properties of the chaos harness: any finite-loss fault schedule leaves
+   the invariants intact and converges once faults stop; identical seeds
+   reproduce identical runs; without the recovery loop the system degrades
+   gracefully (alarms, no silent wedge of the committed state). *)
+
+module Chaos = Harness.Chaos
+
+(* Small fault window and horizon keep the property cheap per case. *)
+let quick_config =
+  { Chaos.default_config with fault_window_ms = 2000.0; horizon_ms = 60_000.0 }
+
+let scenario_of_case n =
+  match n mod 3 with 0 -> Chaos.Fig1 | 1 -> Chaos.B4 | _ -> Chaos.Fat_tree
+
+let prop_finite_loss_converges =
+  QCheck.Test.make ~name:"finite-loss schedules converge once faults stop" ~count:30
+    QCheck.(int_bound 10_000)
+    (fun case ->
+      let scenario = scenario_of_case case in
+      let seed = 100 + case in
+      let r = Chaos.run ~config:quick_config ~scenario ~seed () in
+      if r.Chaos.r_violations <> [] then
+        QCheck.Test.fail_reportf "invariant violations in %s" (Chaos.report_line r)
+      else if r.Chaos.r_converged <> r.Chaos.r_flows then
+        QCheck.Test.fail_reportf "did not converge: %s" (Chaos.report_line r)
+      else true)
+
+let test_same_seed_same_trace () =
+  let r1 = Chaos.run ~config:quick_config ~scenario:Chaos.B4 ~seed:42 () in
+  let r2 = Chaos.run ~config:quick_config ~scenario:Chaos.B4 ~seed:42 () in
+  Alcotest.(check int) "identical trace hash" r1.Chaos.r_trace_hash r2.Chaos.r_trace_hash;
+  Alcotest.(check string) "identical report" (Chaos.report_line r1) (Chaos.report_line r2);
+  let r3 = Chaos.run ~config:quick_config ~scenario:Chaos.B4 ~seed:43 () in
+  Alcotest.(check bool) "different seed, different trace" true
+    (r3.Chaos.r_trace_hash <> r1.Chaos.r_trace_hash)
+
+let test_no_recovery_degrades_gracefully () =
+  (* Data-plane-only faults with retransmission disabled: today's behaviour
+     — watchdog alarms where the chain is lost, committed state never
+     violates the invariants, and the run terminates (no silent hang). *)
+  let config =
+    {
+      quick_config with
+      Chaos.recovery = false;
+      control_fault_prob = 0.0;
+      max_element_failures = 0;
+      data_fault_prob = 0.15;
+    }
+  in
+  let alarms = ref 0 and stuck = ref 0 in
+  for seed = 1 to 10 do
+    let r = Chaos.run ~config ~scenario:Chaos.Fig1 ~seed () in
+    Alcotest.(check (list (triple (float 0.0) int string)))
+      (Printf.sprintf "no violations (seed %d)" seed)
+      []
+      (List.map (fun v -> (v.Chaos.v_time, v.Chaos.v_flow, v.Chaos.v_what)) r.Chaos.r_violations);
+    Alcotest.(check int)
+      (Printf.sprintf "no recovery actions (seed %d)" seed)
+      0
+      (r.Chaos.r_retransmissions + r.Chaos.r_reroutes + r.Chaos.r_resyncs);
+    alarms := !alarms + r.Chaos.r_alarms;
+    if r.Chaos.r_converged < r.Chaos.r_flows then incr stuck
+  done;
+  Alcotest.(check bool) "some updates were wedged by the losses" true (!stuck > 0);
+  Alcotest.(check bool) "the wedges were reported via watchdog alarms" true (!alarms > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_finite_loss_converges;
+    Alcotest.test_case "same seed, same trace" `Quick test_same_seed_same_trace;
+    Alcotest.test_case "no recovery degrades gracefully" `Quick
+      test_no_recovery_degrades_gracefully;
+  ]

@@ -93,6 +93,148 @@ let test_fault_duplicate () =
   let _ = Sim.run sim in
   Alcotest.(check int) "two copies" 2 !received
 
+let test_fault_duplicate_no_storm () =
+  (* A hook that always answers Duplicate must not amplify: the copy goes
+     through the hook once more (so it can be dropped/delayed), but a
+     Duplicate verdict on the copy is absorbed as a plain delivery. *)
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let received = ref 0 and hook_calls = ref 0 in
+  Netsim.attach net ~node:1 (fun _ -> incr received);
+  Netsim.set_data_fault net (fun ~from:_ ~to_:_ _ ->
+      incr hook_calls;
+      Netsim.Duplicate);
+  Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "exactly two copies" 2 !received;
+  Alcotest.(check int) "hook ran twice (original + copy)" 2 !hook_calls;
+  Alcotest.(check int) "one duplication counted" 1
+    (Netsim.counters net).Netsim.duplicated_by_fault;
+  (* The copy can still be dropped. *)
+  let received2 = ref 0 in
+  let net2 = Netsim.create (Sim.create ()) (line_topo ()) in
+  Netsim.attach net2 ~node:1 (fun _ -> incr received2);
+  let first = ref true in
+  Netsim.set_data_fault net2 (fun ~from:_ ~to_:_ _ ->
+      if !first then begin
+        first := false;
+        Netsim.Duplicate
+      end
+      else Netsim.Drop);
+  Netsim.transmit net2 ~from:0 ~port:0 (Bytes.of_string "x");
+  let _ = Sim.run (Netsim.sim net2) in
+  Alcotest.(check int) "copy dropped, original kept" 1 !received2
+
+let test_fault_outcome_counters () =
+  let sim = Sim.create ~seed:7 () in
+  let net = Netsim.create sim (line_topo ()) in
+  Netsim.attach net ~node:1 (fun _ -> ());
+  let verdicts = ref [ Netsim.Delay 3.0; Netsim.Corrupt; Netsim.Duplicate; Netsim.Drop ] in
+  Netsim.set_data_fault net (fun ~from:_ ~to_:_ _ ->
+      match !verdicts with
+      | v :: rest ->
+        verdicts := rest;
+        v
+      | [] -> Netsim.Deliver);
+  for _ = 1 to 4 do
+    Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x")
+  done;
+  let _ = Sim.run sim in
+  let c = Netsim.counters net in
+  Alcotest.(check int) "delayed" 1 c.Netsim.delayed_by_fault;
+  Alcotest.(check int) "corrupted" 1 c.Netsim.corrupted_by_fault;
+  Alcotest.(check int) "duplicated" 1 c.Netsim.duplicated_by_fault;
+  Alcotest.(check int) "dropped" 1 c.Netsim.dropped_by_fault
+
+let test_control_fault_both_directions () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let downlink = ref 0 and uplink = ref 0 in
+  Netsim.attach net ~node:0 (fun event ->
+      match event with Netsim.From_controller _ -> incr downlink | Netsim.Data _ -> ());
+  Netsim.set_controller net (fun ~from:_ _ -> incr uplink);
+  let directions = ref [] in
+  Netsim.set_control_fault net (fun ~dir _ ->
+      directions := dir :: !directions;
+      Netsim.Drop);
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "uim");
+  Netsim.notify_controller net ~from:2 (Bytes.of_string "ufm");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "downlink dropped" 0 !downlink;
+  Alcotest.(check int) "uplink dropped" 0 !uplink;
+  Alcotest.(check int) "both planes counted" 2 (Netsim.counters net).Netsim.dropped_by_fault;
+  Alcotest.(check bool) "directions observed" true
+    (List.mem (Netsim.To_switch 0) !directions
+     && List.mem (Netsim.To_controller 2) !directions);
+  Netsim.clear_control_fault net;
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "uim");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "delivered after clear" 1 !downlink
+
+let test_control_kind_counters () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  Netsim.attach net ~node:0 (fun _ -> ());
+  Netsim.set_controller net (fun ~from:_ _ -> ());
+  (* Classify by first byte, like the harness does with Wire kinds. *)
+  Netsim.set_control_classifier net (fun bytes ->
+      match Bytes.get bytes 0 with '2' -> Some 2 | '4' -> Some 4 | _ -> None);
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "2uim");
+  Netsim.controller_transmit net ~to_:0 (Bytes.of_string "2uim");
+  Netsim.notify_controller net ~from:2 (Bytes.of_string "4ufm");
+  Netsim.notify_controller net ~from:2 (Bytes.of_string "?junk");
+  let _ = Sim.run sim in
+  Alcotest.(check int) "UIM sends" 2 (Netsim.control_kind_count net ~kind:2);
+  Alcotest.(check int) "UFM sends" 1 (Netsim.control_kind_count net ~kind:4);
+  Alcotest.(check int) "unclassified in slot 0" 1 (Netsim.control_kind_count net ~kind:0)
+
+let test_link_failure_loses_packets () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let received = ref 0 in
+  Netsim.attach net ~node:1 (fun _ -> incr received);
+  let events = ref [] in
+  Netsim.on_topology_event net (fun ev -> events := ev :: !events);
+  Netsim.fail_link net ~u:0 ~v:1 ~at:10.0;
+  Netsim.restore_link net ~u:0 ~v:1 ~at:50.0;
+  (* Sent while the link is down: lost. *)
+  Sim.schedule_at sim ~time:20.0 (fun () ->
+      Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x"));
+  (* Sent just before the failure, still in flight at t=10: also lost. *)
+  Sim.schedule_at sim ~time:9.0 (fun () ->
+      Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "y"));
+  (* Sent after the restore: delivered. *)
+  Sim.schedule_at sim ~time:60.0 (fun () ->
+      Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "z"));
+  let _ = Sim.run sim in
+  Alcotest.(check int) "only the post-restore packet" 1 !received;
+  Alcotest.(check int) "losses counted" 2 (Netsim.counters net).Netsim.dropped_by_failure;
+  Alcotest.(check bool) "down then up observed" true
+    (List.rev !events = [ Netsim.Link_down (0, 1); Netsim.Link_up (0, 1) ])
+
+let test_node_failure_silences_node () =
+  let sim = Sim.create () in
+  let net = Netsim.create sim (line_topo ()) in
+  let received_at_1 = ref 0 and uplink = ref 0 in
+  Netsim.attach net ~node:1 (fun _ -> incr received_at_1);
+  Netsim.set_controller net (fun ~from:_ _ -> incr uplink);
+  Netsim.fail_node net ~node:1 ~at:10.0;
+  Netsim.restore_node net ~node:1 ~at:50.0;
+  Sim.schedule_at sim ~time:20.0 (fun () ->
+      (* dead receiver *)
+      Netsim.transmit net ~from:0 ~port:0 (Bytes.of_string "x");
+      (* dead sender: emits nothing on either plane *)
+      Netsim.transmit net ~from:1 ~port:0 (Bytes.of_string "y");
+      Netsim.notify_controller net ~from:1 (Bytes.of_string "z");
+      Alcotest.(check bool) "node reported down" false (Netsim.node_is_up net ~node:1));
+  let _ = Sim.run sim in
+  Alcotest.(check int) "nothing delivered to dead node" 0 !received_at_1;
+  Alcotest.(check int) "nothing reached controller" 0 !uplink;
+  Alcotest.(check bool) "node up after restore" true (Netsim.node_is_up net ~node:1);
+  (* x and z are counted as losses; a dead sender (y) emits nothing at all. *)
+  Alcotest.(check int) "failure losses counted" 2
+    (Netsim.counters net).Netsim.dropped_by_failure
+
 let test_observer_sees_delivery () =
   let sim = Sim.create () in
   let net = Netsim.create sim (line_topo ()) in
@@ -130,6 +272,13 @@ let suite =
     Alcotest.test_case "controller FIFO serialization" `Quick test_controller_fifo_serialization;
     Alcotest.test_case "fault: drop" `Quick test_fault_drop;
     Alcotest.test_case "fault: duplicate" `Quick test_fault_duplicate;
+    Alcotest.test_case "fault: duplicate does not storm" `Quick test_fault_duplicate_no_storm;
+    Alcotest.test_case "fault: outcome counters" `Quick test_fault_outcome_counters;
+    Alcotest.test_case "control fault: both directions" `Quick
+      test_control_fault_both_directions;
+    Alcotest.test_case "control counters split by kind" `Quick test_control_kind_counters;
+    Alcotest.test_case "link failure loses packets" `Quick test_link_failure_loses_packets;
+    Alcotest.test_case "node failure silences node" `Quick test_node_failure_silences_node;
     Alcotest.test_case "delivery observer" `Quick test_observer_sees_delivery;
     Alcotest.test_case "straggler distribution" `Quick test_straggler_distribution;
     Alcotest.test_case "geo control latency" `Quick test_control_latency_geo;

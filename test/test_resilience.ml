@@ -122,6 +122,125 @@ let test_retrigger_budget_bounded () =
     Alcotest.(check (list int)) "old path intact" Topo.Topologies.fig1_old_path path
   | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
 
+let test_recovery_retransmits_lost_uim () =
+  (* Drop the first UIM batch on the control channel: without the §11
+     recovery loop the update would hang staged forever; with it the
+     controller retransmits the same (flow, version) set and completes. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:400.0) w.switches;
+  Controller.enable_recovery ~timeout_ms:500.0 w.controller;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let dropped = ref 0 in
+  Netsim.set_control_fault w.net (fun ~dir _ ->
+      match dir with
+      | Netsim.To_switch _ when !dropped < List.length Topo.Topologies.fig1_new_path ->
+        incr dropped;
+        Netsim.Drop
+      | _ -> Netsim.Deliver);
+  let version =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  (match Controller.completion_time w.controller ~flow_id:flow.flow_id ~version with
+   | Some _ -> ()
+   | None -> Alcotest.fail "update never completed despite retransmission");
+  (match Controller.recovery_stats w.controller with
+   | Some s -> Alcotest.(check bool) "retransmitted" true (s.Controller.retransmissions > 0)
+   | None -> Alcotest.fail "recovery not armed");
+  match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+  | Harness.Fwdcheck.Reaches_egress path ->
+    Alcotest.(check (list int)) "converged to new path" Topo.Topologies.fig1_new_path path
+  | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let test_recovery_survives_lost_success_ufm () =
+  (* The data plane finishes but the success UFM is lost on the uplink:
+     the controller's retransmission makes the already-committed ingress
+     re-acknowledge, so completion is eventually recorded. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:400.0) w.switches;
+  Controller.enable_recovery ~timeout_ms:500.0 w.controller;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let dropped = ref 0 in
+  Netsim.set_control_fault w.net (fun ~dir bytes ->
+      match dir with
+      | Netsim.To_controller _ when !dropped = 0 ->
+        (match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+         | Some c when c.kind = Wire.Ufm && c.layer = Wire.ufm_success ->
+           incr dropped;
+           Netsim.Drop
+         | _ -> Netsim.Deliver)
+      | _ -> Netsim.Deliver);
+  let version =
+    Controller.update_flow w.controller ~flow_id:flow.flow_id
+      ~new_path:Topo.Topologies.fig1_new_path ~update_type:Wire.Sl ()
+  in
+  let _ = Harness.World.run w in
+  Alcotest.(check int) "the success UFM was dropped" 1 !dropped;
+  match Controller.completion_time w.controller ~flow_id:flow.flow_id ~version with
+  | Some _ -> ()
+  | None -> Alcotest.fail "completion never recorded despite re-acknowledgement"
+
+let test_restart_resyncs_uib () =
+  (* The egress power-cycles — no reroute can avoid the flow's endpoint,
+     so the controller must wait for the restore, observe a blank UIB
+     (reads as "no rule") and re-deploy the flow at a fresh version,
+     rebuilding the registers from the NIB. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:400.0) w.switches;
+  Controller.enable_recovery ~timeout_ms:500.0 w.controller;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let egress = 7 in
+  Netsim.fail_node w.net ~node:egress ~at:50.0;
+  Netsim.restore_node w.net ~node:egress ~at:400.0;
+  let wiped = ref None in
+  Dessim.Sim.schedule_at w.sim ~time:401.0 (fun () ->
+      wiped := Some (Switch.forwarding_port w.switches.(egress) ~flow_id:flow.flow_id));
+  let _ = Harness.World.run w in
+  (* Right after the restart the register file read as factory-blank ... *)
+  Alcotest.(check (option int)) "UIB wiped on restart" (Some Wire.port_none) !wiped;
+  (* ... and the resync re-deployed the flow end to end. *)
+  (match Controller.recovery_stats w.controller with
+   | Some s -> Alcotest.(check bool) "resynced" true (s.Controller.resyncs > 0)
+   | None -> Alcotest.fail "recovery not armed");
+  (match Controller.find_flow w.controller ~flow_id:flow.flow_id with
+   | Some f -> Alcotest.(check bool) "fresh version deployed" true (f.Controller.version > 1)
+   | None -> Alcotest.fail "flow lost");
+  match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+  | Harness.Fwdcheck.Reaches_egress path ->
+    Alcotest.(check (list int)) "path restored" Topo.Topologies.fig1_old_path path
+  | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o
+
+let test_node_failure_reroutes () =
+  (* A mid-path node dies and stays down long enough for the alarm-driven
+     reroute: the controller re-labels the flow around the failure. *)
+  let w = Harness.World.make (fig1 ()) in
+  Array.iter (fun sw -> Switch.enable_watchdog sw ~timeout_ms:400.0) w.switches;
+  Controller.enable_recovery ~timeout_ms:500.0 w.controller;
+  let flow =
+    Harness.World.install_flow w ~src:0 ~dst:7 ~size:100 ~path:Topo.Topologies.fig1_old_path
+  in
+  let mid = List.nth Topo.Topologies.fig1_old_path 1 in
+  Netsim.fail_node w.net ~node:mid ~at:50.0;
+  let _ = Harness.World.run ~until:60_000.0 w in
+  (match Controller.recovery_stats w.controller with
+   | Some s -> Alcotest.(check bool) "rerouted" true (s.Controller.reroutes > 0)
+   | None -> Alcotest.fail "recovery not armed");
+  match Controller.find_flow w.controller ~flow_id:flow.flow_id with
+  | Some f ->
+    Alcotest.(check bool) "new path avoids the dead node" false (List.mem mid f.Controller.path);
+    (match Harness.Fwdcheck.trace w.net w.switches ~flow_id:flow.flow_id ~src:0 with
+     | Harness.Fwdcheck.Reaches_egress path ->
+       Alcotest.(check (list int)) "forwarding follows the reroute" f.Controller.path path
+     | o -> Alcotest.failf "broken: %a" Harness.Fwdcheck.pp_outcome o)
+  | None -> Alcotest.fail "flow lost"
+
 let suite =
   [
     Alcotest.test_case "FRM routes a new flow" `Quick test_frm_routes_new_flow;
@@ -130,4 +249,10 @@ let suite =
     Alcotest.test_case "re-trigger recovers from UNM loss" `Quick
       test_retrigger_recovers_from_unm_loss;
     Alcotest.test_case "re-trigger budget bounded" `Quick test_retrigger_budget_bounded;
+    Alcotest.test_case "recovery retransmits a lost UIM" `Quick
+      test_recovery_retransmits_lost_uim;
+    Alcotest.test_case "recovery survives a lost success UFM" `Quick
+      test_recovery_survives_lost_success_ufm;
+    Alcotest.test_case "restart wipes and resyncs the UIB" `Quick test_restart_resyncs_uib;
+    Alcotest.test_case "node failure triggers a reroute" `Quick test_node_failure_reroutes;
   ]
