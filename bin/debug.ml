@@ -1,5 +1,65 @@
+(* Interactive debug dump for the Fig. 1 scenario.
+
+   All protocol-level output is driven by the Obs trace sink: a listener
+   renders span/instant events as they are recorded, so this binary shows
+   exactly what `p4update_cli trace` would export — commits, UNM hops,
+   verification verdicts, alarms — without bespoke printf hooks.  Pass a
+   file name as the first argument to also write the Chrome trace there. *)
+
 open P4update
+
+let render_attrs attrs =
+  let rec dedup seen = function
+    | [] -> []
+    | (k, v) :: rest ->
+      if List.mem k seen then dedup seen rest
+      else (k, v) :: dedup (k :: seen) rest
+  in
+  dedup [] attrs
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Obs.Json.to_string v))
+  |> String.concat " "
+
+let node_label n = if n < 0 then "ctl" else Printf.sprintf "v%d" n
+
+let install_renderer () =
+  let open_spans : (int, Obs.Trace.span_info) Hashtbl.t = Hashtbl.create 64 in
+  Obs.Trace.on_event (function
+    | Obs.Trace.Span_begin b -> Hashtbl.replace open_spans b.id b
+    | Obs.Trace.Span_end { id; ts; attrs } -> (
+      match Hashtbl.find_opt open_spans id with
+      | Some b ->
+        Hashtbl.remove open_spans id;
+        Printf.printf "t=%8.2f  %-4s %-12s %s\n" ts (node_label b.node) b.name
+          (render_attrs (b.attrs @ attrs))
+      | None -> ())
+    | Obs.Trace.Instant { name; node; ts; attrs; _ } ->
+      Printf.printf "t=%8.2f  %-4s %-12s %s\n" ts (node_label node) name
+        (render_attrs attrs))
+
+let dump_uibs world ~flow_id =
+  for n = 0 to Array.length world.Harness.World.switches - 1 do
+    let uib = Switch.uib world.Harness.World.switches.(n) in
+    let egress = Uib.egress_port uib flow_id in
+    let next =
+      match Netsim.neighbor_of_port world.Harness.World.net ~node:n ~port:egress with
+      | Some nb -> string_of_int nb
+      | None -> if egress = Wire.port_local then "local" else "none"
+    in
+    Obs.Trace.instant ~cat:"debug" "uib.state" ~node:n
+      ~attrs:
+        [
+          Obs.Trace.flow flow_id;
+          Obs.Trace.int "ver" (Uib.ver_cur uib flow_id);
+          Obs.Trace.str "next" next;
+          Obs.Trace.int "label" (Uib.dist_prev uib flow_id);
+          Obs.Trace.int "last_type" (Uib.last_type uib flow_id);
+        ]
+  done
+
 let () =
+  let sink = Obs.Trace.create ~exclude:[ "sim"; "net"; "p4rt" ] () in
+  Obs.Trace.install sink;
+  install_renderer ();
   let topo = Topo.Topologies.fig1 () in
   let world = Harness.World.make ~seed:21 topo in
   Array.iter Switch.enable_consecutive_dl world.switches;
@@ -12,29 +72,25 @@ let () =
       Dessim.Sim.schedule world.sim ~delay:(float_of_int i *. 5.0) (fun () ->
           ignore (Controller.update_flow world.controller ~flow_id:flow.flow_id ~new_path ())))
     configs;
-  Array.iter (fun sw -> Switch.on_commit sw (fun ~flow_id:_ ~version ~time ->
-      let uib = Switch.uib sw in
-      Printf.printf "t=%7.2f commit v%d ver=%d -> %s (label=%d)\n" time (Switch.node sw) version
-        (match Netsim.neighbor_of_port world.net ~node:(Switch.node sw)
-                 ~port:(Uib.egress_port uib flow.flow_id) with
-         | Some nb -> string_of_int nb | None -> "local")
-        (Uib.dist_prev uib flow.flow_id))) world.switches;
   let stop = ref false in
   while (not !stop) && Dessim.Sim.step world.sim do
     match Harness.Fwdcheck.trace world.net world.switches ~flow_id:flow.flow_id ~src:0 with
     | Harness.Fwdcheck.Reaches_egress _ -> ()
     | o ->
-      Format.printf "VIOLATION at t=%.2f: %a@." (Dessim.Sim.now world.sim)
-        Harness.Fwdcheck.pp_outcome o;
-      for n = 0 to 7 do
-        let uib = Switch.uib world.switches.(n) in
-        Printf.printf "  v%d: ver=%d rule->%s label=%d lastT=%d\n" n
-          (Uib.ver_cur uib flow.flow_id)
-          (match Netsim.neighbor_of_port world.net ~node:n
-                   ~port:(Uib.egress_port uib flow.flow_id) with
-           | Some nb -> string_of_int nb
-           | None -> if Uib.egress_port uib flow.flow_id = Wire.port_local then "local" else "none")
-          (Uib.dist_prev uib flow.flow_id) (Uib.last_type uib flow.flow_id)
-      done;
+      Obs.Trace.instant ~cat:"debug" "fwd.violation"
+        ~attrs:
+          [
+            Obs.Trace.flow flow.flow_id;
+            Obs.Trace.str "outcome" (Format.asprintf "%a" Harness.Fwdcheck.pp_outcome o);
+          ];
+      dump_uibs world ~flow_id:flow.flow_id;
       stop := true
-  done
+  done;
+  Printf.printf "-- %d trace events recorded\n" (List.length (Obs.Trace.events sink));
+  (if Array.length Sys.argv > 1 then begin
+     let oc = open_out Sys.argv.(1) in
+     output_string oc (Obs.Trace.to_chrome ~pretty:true sink);
+     close_out oc;
+     Printf.printf "-- chrome trace written to %s\n" Sys.argv.(1)
+   end);
+  Obs.Trace.uninstall ()

@@ -151,7 +151,13 @@ let fig_cmd =
     Arg.(required & opt (some string) None
          & info [ "id" ] ~docv:"ID" ~doc:"Figure id: 2, 4, 7a..7f, 8a, 8b.")
   in
-  let run id runs =
+  let phases_arg =
+    Arg.(value & flag
+         & info [ "phases" ]
+             ~doc:"For 7a..7f: trace one P4Update run and print the per-update \
+                   phase breakdown instead of the CDFs.")
+  in
+  let run_figure id runs =
     match id with
     | "2" -> print_string (Harness.Experiments.render_fig2 (Harness.Experiments.fig2 ()))
     | "4" -> print_string (Harness.Experiments.render_fig4 (Harness.Experiments.fig4 ()))
@@ -173,8 +179,109 @@ let fig_cmd =
          print_string (Harness.Experiments.render_fig7 (Harness.Experiments.fig7 ~runs sc))
        | None -> Printf.eprintf "unknown figure id %S\n" id; exit 1)
   in
+  let run id runs phases =
+    if phases then
+      match
+        List.find_opt
+          (fun sc -> sc.Harness.Experiments.f7_id = id)
+          (Harness.Experiments.fig7_scenarios ())
+      with
+      | Some sc ->
+        print_string
+          (Harness.Experiments.render_phase_breakdown
+             (Harness.Experiments.phase_breakdown sc Harness.Scenarios.P4u))
+      | None ->
+        Printf.eprintf "--phases needs a Fig. 7 scenario id (7a..7f), got %S\n" id;
+        exit 1
+    else run_figure id runs
+  in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one evaluation figure.")
-    Term.(const run $ id_arg $ runs_arg)
+    Term.(const run $ id_arg $ runs_arg $ phases_arg)
+
+(* --- trace --- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the Chrome trace-event JSON here (Perfetto-loadable).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also write the raw JSONL event stream.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1000 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+  in
+  let multi_arg =
+    Arg.(value & flag
+         & info [ "multi" ] ~doc:"Trace the multi-flow (congestion) scenario instead.")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Include the scheduler / packet / pipeline categories \
+                   (sim, net, p4rt) that are filtered out by default.")
+  in
+  let run (name, build) system seed out jsonl multi full =
+    let sys = match system with Some s -> s | None -> Harness.Scenarios.P4u in
+    let exclude = if full then [] else [ "sim"; "net"; "p4rt" ] in
+    let result =
+      if multi then begin
+        let setup =
+          { Harness.Scenarios.topo = build; stragglers = false; congestion = true;
+            headroom = 1.4; control = None }
+        in
+        Printf.printf "tracing multi-flow update on %s (%s, seed %d)\n" name
+          (Harness.Scenarios.system_name sys) seed;
+        Harness.Traced.run_multi ~exclude setup sys ~seed
+      end
+      else begin
+        let topo = build () in
+        let old_path, new_path =
+          if name = "fig1" then (Topo.Topologies.fig1_old_path, Topo.Topologies.fig1_new_path)
+          else Harness.Scenarios.single_flow_paths topo
+        in
+        let setup =
+          { Harness.Scenarios.topo = build; stragglers = true; congestion = false;
+            headroom = 1.4; control = None }
+        in
+        Printf.printf "tracing single-flow update on %s (%s, seed %d): [%s] -> [%s]\n" name
+          (Harness.Scenarios.system_name sys) seed
+          (String.concat ";" (List.map string_of_int old_path))
+          (String.concat ";" (List.map string_of_int new_path));
+        Harness.Traced.run_single ~exclude setup sys ~old_path ~new_path ~seed
+      end
+    in
+    write_file out (Obs.Trace.to_chrome ~pretty:true result.Harness.Traced.tr_sink);
+    Printf.printf "completion: %.2f ms\n" result.Harness.Traced.tr_completion_ms;
+    Printf.printf "wrote %s (%d events; load it at https://ui.perfetto.dev)\n" out
+      (List.length (Obs.Trace.events result.Harness.Traced.tr_sink));
+    (match jsonl with
+     | Some path ->
+       write_file path (Obs.Trace.to_jsonl result.Harness.Traced.tr_sink);
+       Printf.printf "wrote %s\n" path
+     | None -> ());
+    match result.Harness.Traced.tr_phases with
+    | [] ->
+      print_endline
+        "no per-update phase breakdown (span tree incomplete — is this a baseline system?)"
+    | rows ->
+      print_newline ();
+      print_string (Harness.Traced.render_phases rows)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one scenario with the tracing sink installed; export a Chrome \
+          trace (Perfetto) plus a per-update phase breakdown.")
+    Term.(const run $ topo_arg $ system_arg $ seed_arg $ out_arg $ jsonl_arg $ multi_arg
+          $ full_arg)
 
 (* --- chaos --- *)
 
@@ -205,18 +312,46 @@ let chaos_cmd =
          & info [ "no-recovery" ]
              ~doc:"Disable the controller's \xc2\xa711 recovery loop (watchdog alarms only).")
   in
-  let run scenario seed runs no_recovery =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Trace each degraded run (faults tagged as chaos instants) and write \
+                   Chrome trace JSON; with several runs, FILE gets the scenario and seed \
+                   appended.")
+  in
+  let run scenario seed runs no_recovery trace_out =
     let config = { Harness.Chaos.default_config with recovery = not no_recovery } in
     let scenarios =
       match scenario with Some sc -> [ sc ] | None -> Harness.Chaos.all_scenarios
     in
     let seeds = match seed with Some s -> [ s ] | None -> List.init runs (fun i -> i + 1) in
+    let single = List.length scenarios = 1 && List.length seeds = 1 in
     let failed = ref 0 in
     List.iter
       (fun sc ->
         List.iter
           (fun seed ->
-            let r = Harness.Chaos.run ~config ~scenario:sc ~seed () in
+            let trace_sink =
+              match trace_out with
+              | None -> None
+              | Some _ -> Some (Obs.Trace.create ~exclude:[ "sim"; "net"; "p4rt" ] ())
+            in
+            let r = Harness.Chaos.run ~config ?trace_sink ~scenario:sc ~seed () in
+            (match (trace_out, trace_sink) with
+            | Some path, Some sink ->
+              let path =
+                if single then path
+                else
+                  Printf.sprintf "%s.%s.%d%s"
+                    (Filename.remove_extension path)
+                    (Harness.Chaos.scenario_name sc) seed
+                    (let e = Filename.extension path in
+                     if e = "" then ".json" else e)
+              in
+              write_file path (Obs.Trace.to_chrome ~pretty:true sink);
+              Printf.printf "trace: %d events -> %s\n"
+                (List.length (Obs.Trace.events sink)) path
+            | _ -> ());
             print_endline (Harness.Chaos.report_line r);
             List.iter
               (fun v ->
@@ -233,7 +368,7 @@ let chaos_cmd =
        ~doc:
          "Run seeded chaos schedules (both-plane faults plus link/node failures) and check \
           the Thm. 1-4 invariants and convergence.")
-    Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg)
+    Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg $ trace_out_arg)
 
 (* --- import --- *)
 
@@ -283,4 +418,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
-          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; chaos_cmd; import_cmd ]))
+          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; import_cmd ]))

@@ -188,6 +188,28 @@ let send_uims t prepared =
      indication should leave the (serialized) controller first. *)
   List.iter
     (fun (node, uim) ->
+      (if Obs.Trace.enabled () then begin
+         (* One flight span per in-flight indication: a retransmission only
+            opens a fresh span once the previous flight has landed (the
+            switch pops the anchor on arrival). *)
+         let key =
+           Wire.span_key_uim ~flow_id:uim.Wire.flow_id
+             ~version:uim.Wire.version_new ~node
+         in
+         if Obs.Trace.anchor_get key = 0 then
+           Obs.Trace.anchor_set key
+             (Obs.Trace.span_begin ~cat:"ctl" "uim.flight"
+                ~parent:
+                  (Obs.Trace.anchor_get
+                     (Wire.span_key_update ~flow_id:uim.Wire.flow_id
+                        ~version:uim.Wire.version_new))
+                ~attrs:
+                  [
+                    Obs.Trace.flow uim.Wire.flow_id;
+                    Obs.Trace.version uim.Wire.version_new;
+                    Obs.Trace.int "to" node;
+                  ])
+       end);
       Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
     (List.rev prepared.p_uims)
 
@@ -214,6 +236,19 @@ let rec push t prepared =
      flow.last_type <- prepared.p_type
    | None -> ());
   Hashtbl.replace t.last_pushed prepared.p_flow prepared;
+  (* Root span of the update's causal tree; ended by the success UFM. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.anchor_set
+      (Wire.span_key_update ~flow_id:prepared.p_flow ~version:prepared.p_version)
+      (Obs.Trace.span_begin ~cat:"update" "update"
+         ~attrs:
+           [
+             Obs.Trace.flow prepared.p_flow;
+             Obs.Trace.version prepared.p_version;
+             Obs.Trace.str "type"
+               (match prepared.p_type with Wire.Sl -> "sl" | Wire.Dl -> "dl");
+             Obs.Trace.int "nodes" (List.length prepared.p_uims);
+           ]);
   send_uims t prepared;
   arm_recovery t ~flow_id:prepared.p_flow ~version:prepared.p_version ~attempt:0
 
@@ -237,6 +272,16 @@ and arm_recovery t ~flow_id ~version ~attempt =
             (match Hashtbl.find_opt t.last_pushed flow_id with
              | Some p when p.p_version = version ->
                rc.rc_stats.retransmissions <- rc.rc_stats.retransmissions + 1;
+               if Obs.Trace.enabled () then
+                 Obs.Trace.instant ~cat:"recovery" "recovery.retransmit"
+                   ~parent:
+                     (Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
+                   ~attrs:
+                     [
+                       Obs.Trace.flow flow_id;
+                       Obs.Trace.version version;
+                       Obs.Trace.int "attempt" attempt;
+                     ];
                send_uims t p
              | Some _ | None -> ());
             arm_recovery t ~flow_id ~version ~attempt:(attempt + 1)
@@ -255,6 +300,9 @@ and reroute t (flow : flow) =
      with
      | Some new_path when new_path <> flow.path ->
        rc.rc_stats.reroutes <- rc.rc_stats.reroutes + 1;
+       if Obs.Trace.enabled () then
+         Obs.Trace.instant ~cat:"recovery" "recovery.reroute"
+           ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
        ignore (update_flow t ~flow_id:flow.flow_id ~new_path ())
      | Some _ | None ->
        (* No surviving alternative (or already on it): wait for a restore
@@ -269,6 +317,9 @@ and resync t (flow : flow) =
   | None -> ()
   | Some rc ->
     rc.rc_stats.resyncs <- rc.rc_stats.resyncs + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"recovery" "recovery.resync"
+        ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
     ignore (update_flow t ~flow_id:flow.flow_id ~new_path:flow.path ~update_type:Wire.Sl ())
 
 (* A restored link makes a stalled update viable again: retransmit (the
@@ -344,6 +395,12 @@ let retrigger t (c : Wire.control) =
     if count < retrigger_budget && not recently then begin
       Hashtbl.replace t.retriggers key (count + 1);
       Hashtbl.replace t.retrigger_times key now;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"recovery" "recovery.retrigger"
+          ~parent:
+            (Obs.Trace.anchor_get
+               (Wire.span_key_update ~flow_id:c.flow_id ~version:c.version_new))
+          ~attrs:[ Obs.Trace.flow c.flow_id; Obs.Trace.version c.version_new ];
       List.iter
         (fun (node, uim) ->
           Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
@@ -365,6 +422,20 @@ let install_handler t =
           }
         in
         if report.r_status <> Wire.ufm_success then t.alarms <- t.alarms + 1;
+        (if Obs.Trace.enabled () then begin
+           (* End the switch's UFM flight span, and on first success close
+              the update's root span — the causal tree is complete. *)
+           Obs.Trace.span_end
+             (Obs.Trace.anchor_pop
+                (Wire.span_key_ufm ~flow_id:c.flow_id ~version:c.version_new
+                   ~node:from))
+             ~attrs:[ Obs.Trace.int "status" report.r_status ];
+           if report.r_status = Wire.ufm_success then
+             Obs.Trace.span_end
+               (Obs.Trace.anchor_pop
+                  (Wire.span_key_update ~flow_id:c.flow_id ~version:c.version_new))
+               ~attrs:[ Obs.Trace.int "ingress" from ]
+         end);
         t.report_log <- report :: t.report_log;
         List.iter (fun f -> f report) t.report_hooks;
         if report.r_status = Wire.ufm_alarm_timeout then begin

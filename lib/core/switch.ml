@@ -35,6 +35,7 @@ type pending_commit = {
   mutable pc_counter : int;
   mutable pc_cancelled : bool;
   pc_resubmit_bytes : Bytes.t; (* re-processed if capacity defers the commit *)
+  mutable pc_span : int; (* trace span covering stage -> fire (0 = untraced) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -115,9 +116,54 @@ let ufm ~flow_id ~version ~status ~src =
 (* Commit machinery                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Trace helpers.  Spans are handed across wire messages through the
+   sink's anchor table (the byte format is fixed); every helper is a no-op
+   when no sink is installed. *)
+
+let root_span (c : Wire.control) =
+  Obs.Trace.anchor_get
+    (Wire.span_key_update ~flow_id:c.Wire.flow_id ~version:c.Wire.version_new)
+
+let trace_unm_send t (msg : Wire.control) =
+  if Obs.Trace.enabled () && msg.Wire.kind = Wire.Unm then begin
+    let id =
+      Obs.Trace.span_begin ~cat:"ctl" "unm.hop" ~node:t.node ~parent:(root_span msg)
+        ~attrs:
+          [
+            Obs.Trace.flow msg.flow_id;
+            Obs.Trace.version msg.version_new;
+            Obs.Trace.int "layer" msg.layer;
+          ]
+    in
+    Obs.Trace.anchor_set
+      (Wire.span_key_unm ~flow_id:msg.flow_id ~version:msg.version_new ~node:t.node)
+      id
+  end
+
+(* Switch-to-controller send with a flight span ended by the controller. *)
+let notify_ctl t (msg : Wire.control) =
+  if Obs.Trace.enabled () then begin
+    let id =
+      Obs.Trace.span_begin ~cat:"ctl" "ufm.flight" ~node:t.node ~parent:(root_span msg)
+        ~attrs:
+          [
+            Obs.Trace.flow msg.flow_id;
+            Obs.Trace.version msg.version_new;
+            Obs.Trace.int "status" msg.layer;
+          ]
+    in
+    Obs.Trace.anchor_set
+      (Wire.span_key_ufm ~flow_id:msg.flow_id ~version:msg.version_new ~node:t.node)
+      id
+  end;
+  Netsim.notify_controller t.net ~from:t.node (Wire.control_to_bytes msg)
+
 let rec send_upstream t msg ~port =
   if port = Wire.port_none then ()
-  else Netsim.transmit t.net ~from:t.node ~port (Wire.control_to_bytes msg)
+  else begin
+    trace_unm_send t msg;
+    Netsim.transmit t.net ~from:t.node ~port (Wire.control_to_bytes msg)
+  end
 
 and fire_commit t flow_id (pc : pending_commit) =
   let u = t.uib in
@@ -127,7 +173,10 @@ and fire_commit t flow_id (pc : pending_commit) =
     pc.pc_cancelled
     || (not (Netsim.node_is_up t.net ~node:t.node))
     || Uib.ver_cur u flow_id >= pc.pc_version
-  then Hashtbl.remove t.pending flow_id
+  then begin
+    Obs.Trace.span_end pc.pc_span ~attrs:[ Obs.Trace.str "outcome" "cancelled" ];
+    Hashtbl.remove t.pending flow_id
+  end
   else begin
     (* Congestion check happens at commit time so reservations are never
        based on stale capacity (§7.4). *)
@@ -145,6 +194,7 @@ and fire_commit t flow_id (pc : pending_commit) =
         ~high_priority:high ~other_high_waiters
     with
     | Congestion.Defer_capacity | Congestion.Defer_priority ->
+      Obs.Trace.span_end pc.pc_span ~attrs:[ Obs.Trace.str "outcome" "deferred" ];
       t.stats.congestion_defers <- t.stats.congestion_defers + 1;
       Uib.set_flow_priority u flow_id (if high then 1 else 0);
       if not (Hashtbl.mem t.waiting_on flow_id) then begin
@@ -165,10 +215,9 @@ and fire_commit t flow_id (pc : pending_commit) =
            Hashtbl.remove t.waiting_on flow_id
          | None -> ());
         t.stats.alarms <- t.stats.alarms + 1;
-        Netsim.notify_controller t.net ~from:t.node
-          (Wire.control_to_bytes
-             (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_alarm_wait_budget
-                ~src:t.node))
+        notify_ctl t
+          (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_alarm_wait_budget
+             ~src:t.node)
       end
     | Congestion.Proceed ->
       (match Hashtbl.find_opt t.waiting_on flow_id with
@@ -203,6 +252,13 @@ and fire_commit t flow_id (pc : pending_commit) =
       Hashtbl.remove t.pending flow_id;
       Hashtbl.remove t.cong_counts flow_id;
       t.stats.commits <- t.stats.commits + 1;
+      Obs.Trace.span_end pc.pc_span
+        ~attrs:
+          [
+            Obs.Trace.str "outcome" "committed";
+            Obs.Trace.int "egress" pc.pc_egress;
+            Obs.Trace.int "label" pc.pc_label;
+          ];
       (* Rule cleanup (§11): tell the abandoned old parent that no further
          packets will arrive, so it can free its rule and reservation. *)
       if
@@ -238,9 +294,8 @@ and notify_after_commit t flow_id pc =
     if (not is_dl) || Uib.dist_prev u flow_id = 0 then
       if Uib.ufm_sent u flow_id < pc.pc_version then begin
         Uib.set_ufm_sent u flow_id pc.pc_version;
-        Netsim.notify_controller t.net ~from:t.node
-          (Wire.control_to_bytes
-             (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_success ~src:t.node))
+        notify_ctl t
+          (ufm ~flow_id ~version:pc.pc_version ~status:Wire.ufm_success ~src:t.node)
       end
   end
 
@@ -254,6 +309,19 @@ let schedule_commit t flow_id pc =
     | None -> true
   in
   if supersedes then begin
+    if Obs.Trace.enabled () then
+      pc.pc_span <-
+        Obs.Trace.span_begin ~cat:"switch" "commit" ~node:t.node
+          ~parent:
+            (Obs.Trace.anchor_get
+               (Wire.span_key_update ~flow_id ~version:pc.pc_version))
+          ~attrs:
+            [
+              Obs.Trace.flow flow_id;
+              Obs.Trace.version pc.pc_version;
+              Obs.Trace.int "egress" pc.pc_egress;
+              ("two_phase", Obs.Json.Bool pc.pc_two_phase);
+            ];
     Hashtbl.replace t.pending flow_id pc;
     (* Re-committing an identical forwarding rule does not touch the
        forwarding table, so it skips the platform's rule-install delay;
@@ -272,6 +340,11 @@ let schedule_commit t flow_id pc =
 
 let alarm t ctx ~flow_id ~version ~status =
   t.stats.alarms <- t.stats.alarms + 1;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"switch" "alarm" ~node:t.node
+      ~parent:(Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
+      ~attrs:
+        [ Obs.Trace.flow flow_id; Obs.Trace.version version; Obs.Trace.int "status" status ];
   Pipeline.set_packet ctx
     (Wire.control_to_packet (ufm ~flow_id ~version ~status ~src:t.node));
   Pipeline.digest ctx;
@@ -335,6 +408,11 @@ let handle_uim t ctx (c : Wire.control) =
   let flow_id = c.flow_id in
   let accepted = Uib.stage_uim u flow_id c in
   Pipeline.mark_to_drop ctx;
+  (* End the controller's flight span for this indication. *)
+  Obs.Trace.span_end
+    (Obs.Trace.anchor_pop
+       (Wire.span_key_uim ~flow_id ~version:c.version_new ~node:t.node))
+    ~attrs:[ ("accepted", Obs.Json.Bool accepted) ];
   (* §11 failure handling: a re-pushed indication for the already-staged
      version makes an already-committed egress (or DL segment egress)
      regenerate its notification, restarting a chain lost to packet
@@ -347,10 +425,9 @@ let handle_uim t ctx (c : Wire.control) =
               && Uib.uim_version t.uib flow_id = c.version_new
            then begin
              t.stats.alarms <- t.stats.alarms + 1;
-             Netsim.notify_controller t.net ~from:t.node
-               (Wire.control_to_bytes
-                  (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
-                     ~src:t.node))
+             notify_ctl t
+               (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
+                  ~src:t.node)
            end)
      | Some _ | None -> ());
     (* Any committed node (egress, gateway or mid-path) replays the exact
@@ -391,10 +468,9 @@ let handle_uim t ctx (c : Wire.control) =
               && Uib.uim_version t.uib flow_id = c.version_new
            then begin
              t.stats.alarms <- t.stats.alarms + 1;
-             Netsim.notify_controller t.net ~from:t.node
-               (Wire.control_to_bytes
-                  (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
-                     ~src:t.node))
+             notify_ctl t
+               (ufm ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_timeout
+                  ~src:t.node)
            end)
      | None -> ());
     let utype = Wire.update_type_to_int c.update_type in
@@ -418,6 +494,7 @@ let handle_uim t ctx (c : Wire.control) =
                pc_counter = 0;
                pc_cancelled = false;
                pc_resubmit_bytes = Wire.control_to_bytes c;
+               pc_span = 0;
              } ))
     else if
       c.update_type = Wire.Dl
@@ -472,6 +549,14 @@ let unm_view_of (c : Wire.control) =
     u_committed = c.role land Wire.role_committed <> 0;
   }
 
+let decision_name = function
+  | Verify.Commit _ -> "commit"
+  | Verify.Inherit_and_pass -> "inherit"
+  | Verify.Wait_for_uim -> "wait"
+  | Verify.Reject_stale -> "reject_stale"
+  | Verify.Reject_distance -> "reject_distance"
+  | Verify.Ignore -> "ignore"
+
 let handle_unm t ctx (c : Wire.control) =
   let u = t.uib in
   let flow_id = c.flow_id in
@@ -485,6 +570,20 @@ let handle_unm t ctx (c : Wire.control) =
     if dual then Verify.dl_verify ~consecutive:t.consecutive_dl node (unm_view_of c)
     else Verify.sl_verify node (unm_view_of c)
   in
+  (* End the sender's hop span with the Alg. 1/2 verdict, and leave an
+     instant for the verification step itself. *)
+  if Obs.Trace.enabled () then begin
+    let hop =
+      Obs.Trace.anchor_pop
+        (Wire.span_key_unm ~flow_id ~version:c.version_new ~node:c.src_node)
+    in
+    Obs.Trace.span_end hop ~attrs:[ Obs.Trace.str "decision" (decision_name decision) ];
+    Obs.Trace.instant ~cat:"verify"
+      ((if dual then "dl_verify." else "sl_verify.") ^ decision_name decision)
+      ~node:t.node
+      ~parent:(if hop <> 0 then hop else root_span c)
+      ~attrs:[ Obs.Trace.flow flow_id; Obs.Trace.version c.version_new ]
+  end;
   match decision with
   | Verify.Commit source ->
     let utype = Uib.uim_type u flow_id in
@@ -522,6 +621,7 @@ let handle_unm t ctx (c : Wire.control) =
                 pc_counter = counter;
                 pc_cancelled = false;
                 pc_resubmit_bytes = Wire.control_to_bytes c;
+                pc_span = 0;
               } )))
   | Verify.Inherit_and_pass ->
     Uib.set_dist_prev u flow_id c.dist_old;
@@ -610,7 +710,7 @@ let drain_actions t =
       match action with
       | Schedule_commit (flow_id, pc) -> schedule_commit t flow_id pc
       | Send_upstream (msg, port) -> send_upstream t msg ~port
-      | Send_ufm msg -> Netsim.notify_controller t.net ~from:t.node (Wire.control_to_bytes msg)
+      | Send_ufm msg -> notify_ctl t msg
       | Resubmit_bytes bytes -> Netsim.resubmit t.net ~node:t.node bytes)
     todo
 
@@ -697,6 +797,8 @@ let create net ~node =
    capacities are re-read from the (persistent) platform configuration.
    The controller is expected to re-sync the UIB afterwards. *)
 let restart t =
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"switch" "switch.restart" ~node:t.node;
   Hashtbl.iter (fun _ pc -> pc.pc_cancelled <- true) t.pending;
   Hashtbl.reset t.pending;
   Hashtbl.reset t.wait_counts;

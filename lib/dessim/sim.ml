@@ -25,7 +25,13 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.clock <- time;
-    f ();
+    (* The "sim" category is excluded by default; enabling it gives a span
+       per dispatched event for scheduler-level profiling. *)
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span ~cat:"sim" "dispatch"
+        ~attrs:[ Obs.Trace.float "time" time ]
+        f
+    else f ();
     true
 
 let run ?until t =

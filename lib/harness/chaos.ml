@@ -139,18 +139,41 @@ let draw_verdict sim ~downgrade_corrupt =
   else if x < 0.85 then if downgrade_corrupt then Netsim.Drop else Netsim.Corrupt
   else Netsim.Duplicate
 
+let verdict_name = function
+  | Netsim.Deliver -> "deliver"
+  | Netsim.Drop -> "drop"
+  | Netsim.Delay _ -> "delay"
+  | Netsim.Corrupt -> "corrupt"
+  | Netsim.Duplicate -> "duplicate"
+
+(* Tag the trace with every injected fault so a degraded run can be diffed
+   against its fault-free baseline of the same seed.  Tracing happens at
+   the injection decision point, so the instant carries the verdict even
+   when the packet never reaches a handler (Drop). *)
+let trace_injection ~plane verdict =
+  if Obs.Trace.enabled () && verdict <> Netsim.Deliver then
+    Obs.Trace.instant ~cat:"chaos" "fault.injected"
+      ~attrs:
+        [ Obs.Trace.str "plane" plane; Obs.Trace.str "verdict" (verdict_name verdict) ]
+
 let install_fault_hooks (w : World.t) cfg =
   let sim = w.World.sim in
   let active () = Sim.now sim < cfg.fault_window_ms in
   if cfg.data_fault_prob > 0.0 then
     Netsim.set_data_fault w.World.net (fun ~from:_ ~to_:_ bytes ->
-        if active () && Sim.uniform sim ~bound:1.0 < cfg.data_fault_prob then
-          draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes)
+        if active () && Sim.uniform sim ~bound:1.0 < cfg.data_fault_prob then begin
+          let v = draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes) in
+          trace_injection ~plane:"data" v;
+          v
+        end
         else Netsim.Deliver);
   if cfg.control_fault_prob > 0.0 then
     Netsim.set_control_fault w.World.net (fun ~dir:_ bytes ->
-        if active () && Sim.uniform sim ~bound:1.0 < cfg.control_fault_prob then
-          draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes)
+        if active () && Sim.uniform sim ~bound:1.0 < cfg.control_fault_prob then begin
+          let v = draw_verdict sim ~downgrade_corrupt:(is_control_frame bytes) in
+          trace_injection ~plane:"control" v;
+          v
+        end
         else Netsim.Deliver)
 
 (* 0 .. max element failures, each restored well inside the fault window
@@ -351,8 +374,17 @@ let run_one ~scenario ~seed ~cfg =
     r_trace_hash = !trace_hash;
   }
 
-let run ?(config = default_config) ~scenario ~seed () =
-  let faulty = run_one ~scenario ~seed ~cfg:config in
+let run ?(config = default_config) ?trace_sink ~scenario ~seed () =
+  (* Only the degraded run is traced: the fault-free baseline would overlay
+     a second span tree at the same timestamps. *)
+  let faulty =
+    match trace_sink with
+    | None -> run_one ~scenario ~seed ~cfg:config
+    | Some sink ->
+      Obs.Trace.install sink;
+      Fun.protect ~finally:Obs.Trace.uninstall (fun () ->
+          run_one ~scenario ~seed ~cfg:config)
+  in
   let baseline =
     run_one ~scenario ~seed
       ~cfg:{ config with data_fault_prob = 0.0; control_fault_prob = 0.0;

@@ -69,8 +69,15 @@ type report = {
 val ok : report -> bool
 
 (** [run ~scenario ~seed ()] executes the faulty run and its fault-free
-    baseline (identical workload) and merges both into one report. *)
-val run : ?config:config -> scenario:scenario -> seed:int -> unit -> report
+    baseline (identical workload) and merges both into one report.
+    [trace_sink] is installed around the degraded run only (not the
+    baseline); injected faults appear as ["fault.injected"] instants in
+    category ["chaos"].  Tracing never perturbs the schedule, so the
+    report — including [r_trace_hash] — is identical with or without a
+    sink. *)
+val run :
+  ?config:config -> ?trace_sink:Obs.Trace.sink -> scenario:scenario -> seed:int ->
+  unit -> report
 
 (** One-line degradation summary. *)
 val report_line : report -> string

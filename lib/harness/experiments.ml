@@ -326,6 +326,53 @@ let fig7 ?(runs = Scenarios.runs) scenario =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Phase breakdown - a traced fig7-style run explains its total         *)
+(* ------------------------------------------------------------------ *)
+
+type phase_result = {
+  pb_scenario : fig7_scenario;
+  pb_system : Scenarios.system;
+  pb_seed : int;
+  pb_completion_ms : float;
+  pb_rows : Traced.phase_row list;
+}
+
+let phase_breakdown ?(seed = 1000) scenario system =
+  let r =
+    if scenario.f7_multi then Traced.run_multi scenario.f7_setup system ~seed
+    else
+      let old_path, new_path =
+        if scenario.f7_id = "7a" then
+          (Topo.Topologies.fig1_old_path, Topo.Topologies.fig1_new_path)
+        else Scenarios.single_flow_paths (scenario.f7_setup.Scenarios.topo ())
+      in
+      Traced.run_single scenario.f7_setup system ~old_path ~new_path ~seed
+  in
+  {
+    pb_scenario = scenario;
+    pb_system = system;
+    pb_seed = seed;
+    pb_completion_ms = r.Traced.tr_completion_ms;
+    pb_rows = r.Traced.tr_phases;
+  }
+
+let render_phase_breakdown r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Fig. %s - %s (%s, seed %d): where the completion time goes (ms)\n"
+       r.pb_scenario.f7_id r.pb_scenario.f7_title
+       (Scenarios.system_name r.pb_system) r.pb_seed);
+  (match r.pb_rows with
+  | [] ->
+    Buffer.add_string buf
+      "  no per-update span tree (baseline systems are not instrumented)\n"
+  | rows -> Buffer.add_string buf (Traced.render_phases rows));
+  Buffer.add_string buf
+    (Printf.sprintf "  end-to-end completion: %.2f ms%s\n" r.pb_completion_ms
+       (if r.pb_scenario.f7_multi then " (updates overlap; rows are per flow)" else ""));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 8                                                               *)
 (* ------------------------------------------------------------------ *)
 

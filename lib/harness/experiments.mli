@@ -48,6 +48,25 @@ type fig7_result = {
 (** [fig7 scenario] runs all three systems, [Scenarios.runs] seeds each. *)
 val fig7 : ?runs:int -> fig7_scenario -> fig7_result
 
+(** {2 Phase breakdown — where a traced run's completion time goes} *)
+
+type phase_result = {
+  pb_scenario : fig7_scenario;
+  pb_system : Scenarios.system;
+  pb_seed : int;
+  pb_completion_ms : float;
+  pb_rows : Traced.phase_row list;
+}
+
+(** [phase_breakdown scenario system] runs one seed of a Fig. 7 scenario
+    under a trace sink and folds the span tree into per-update phase rows
+    (prep / control-plane flight / data-plane propagation / verification /
+    ack).  Baseline systems produce no rows: only P4Update is
+    span-instrumented. *)
+val phase_breakdown : ?seed:int -> fig7_scenario -> Scenarios.system -> phase_result
+
+val render_phase_breakdown : phase_result -> string
+
 (** {2 Fig. 8 — control-plane preparation time ratio} *)
 
 type fig8_row = {

@@ -31,6 +31,7 @@ let fail_incomplete system = failwith (system_name system ^ ": update did not co
 let single_flow_time ?update_type setup system ~old_path ~new_path ~seed =
   let topo = setup.topo () in
   let sim = Sim.create ~seed () in
+  Obs.Trace.set_clock (fun () -> Sim.now sim);
   let net = Netsim.create ~config:(config_of setup) sim topo in
   let src = List.hd old_path and dst = List.nth old_path (List.length old_path - 1) in
   match system with
@@ -103,6 +104,7 @@ let workload_of topo ~seed ~congestion ~headroom =
 let multi_flow_time ?update_type setup system ~seed =
   let topo = setup.topo () in
   let sim = Sim.create ~seed () in
+  Obs.Trace.set_clock (fun () -> Sim.now sim);
   let flows =
     workload_of topo ~seed ~congestion:setup.congestion ~headroom:setup.headroom
   in

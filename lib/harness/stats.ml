@@ -12,8 +12,13 @@ let stddev = function
     in
     sqrt var
 
-let percentile p = function
-  | [] -> nan
+(* Order statistics on an empty sample have no value to return; a silent
+   [nan] used to leak into reports and render as "nan" columns.  They now
+   raise with a clear message, and [*_opt] variants are provided for
+   callers that want to handle emptiness themselves. *)
+
+let percentile_opt p = function
+  | [] -> None
   | xs ->
     if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
     let sorted = List.sort compare xs in
@@ -21,14 +26,35 @@ let percentile p = function
     let n = Array.length arr in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
-    if lo = hi then arr.(lo)
+    if lo = hi then Some arr.(lo)
     else
       let frac = rank -. float_of_int lo in
-      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+      Some (arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo))))
+
+let percentile p xs =
+  match percentile_opt p xs with
+  | Some v -> v
+  | None -> invalid_arg "Stats.percentile: empty sample"
 
 let median xs = percentile 50.0 xs
-let minimum = function [] -> nan | xs -> List.fold_left Float.min infinity xs
-let maximum = function [] -> nan | xs -> List.fold_left Float.max neg_infinity xs
+
+let minimum_opt = function
+  | [] -> None
+  | xs -> Some (List.fold_left Float.min infinity xs)
+
+let maximum_opt = function
+  | [] -> None
+  | xs -> Some (List.fold_left Float.max neg_infinity xs)
+
+let minimum xs =
+  match minimum_opt xs with
+  | Some v -> v
+  | None -> invalid_arg "Stats.minimum: empty sample"
+
+let maximum xs =
+  match maximum_opt xs with
+  | Some v -> v
+  | None -> invalid_arg "Stats.maximum: empty sample"
 
 let cdf xs =
   let sorted = List.sort compare xs in
@@ -41,9 +67,12 @@ let confidence99 = function
   | xs -> 2.576 *. stddev xs /. sqrt (float_of_int (List.length xs))
 
 let summary name xs =
-  Printf.sprintf "%s: n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f max=%.2f" name
-    (List.length xs) (mean xs) (stddev xs) (minimum xs) (median xs) (percentile 90.0 xs)
-    (maximum xs)
+  match xs with
+  | [] -> Printf.sprintf "%s: n=0 (no samples)" name
+  | xs ->
+    Printf.sprintf "%s: n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f max=%.2f" name
+      (List.length xs) (mean xs) (stddev xs) (minimum xs) (median xs) (percentile 90.0 xs)
+      (maximum xs)
 
 let ascii_cdf ?(width = 60) ~series () =
   match List.concat_map snd series with

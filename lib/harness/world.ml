@@ -9,6 +9,9 @@ type t = {
 
 let make ?seed ?config topo =
   let sim = Sim.create ?seed () in
+  (* Trace timestamps follow this world's simulated clock (no-op when no
+     sink is installed). *)
+  Obs.Trace.set_clock (fun () -> Sim.now sim);
   let net = Netsim.create ?config sim topo in
   let n = Topo.Graph.node_count topo.Topo.Topologies.graph in
   let switches = Array.init n (fun node -> P4update.Switch.create net ~node) in

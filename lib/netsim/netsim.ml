@@ -42,17 +42,39 @@ type event =
 
 let kind_space = 8
 
+(* Human-readable wire-kind names used in metric names; index = kind. *)
+let kind_names =
+  [| "unclassified"; "frm"; "uim"; "unm"; "ufm"; "cln"; "kind6"; "kind7" |]
+
+(* Read-only snapshot of the network counters.  The live values now live in
+   an [Obs.Metrics] registry (one per network); [counters] rebuilds this
+   record on each call so existing field-access call sites keep working. *)
 type counters = {
-  mutable data_packets : int;
-  mutable control_to_switch : int;
-  mutable control_to_controller : int;
-  mutable resubmissions : int;
-  mutable dropped_by_fault : int;
-  mutable delayed_by_fault : int;
-  mutable corrupted_by_fault : int;
-  mutable duplicated_by_fault : int;
-  mutable dropped_by_failure : int;
+  data_packets : int;
+  control_to_switch : int;
+  control_to_controller : int;
+  resubmissions : int;
+  dropped_by_fault : int;
+  delayed_by_fault : int;
+  corrupted_by_fault : int;
+  duplicated_by_fault : int;
+  dropped_by_failure : int;
   control_kind_tx : int array; (* per wire msg kind; slot 0 = unclassified *)
+}
+
+(* Pre-resolved counter handles so the hot paths do one field mutation per
+   event instead of a name lookup. *)
+type stats_handles = {
+  h_data_packets : Obs.Metrics.counter;
+  h_control_to_switch : Obs.Metrics.counter;
+  h_control_to_controller : Obs.Metrics.counter;
+  h_resubmissions : Obs.Metrics.counter;
+  h_dropped_by_fault : Obs.Metrics.counter;
+  h_delayed_by_fault : Obs.Metrics.counter;
+  h_corrupted_by_fault : Obs.Metrics.counter;
+  h_duplicated_by_fault : Obs.Metrics.counter;
+  h_dropped_by_failure : Obs.Metrics.counter;
+  h_control_kind_tx : Obs.Metrics.counter array;
 }
 
 type t = {
@@ -71,7 +93,8 @@ type t = {
   link_failed : (int * int, unit) Hashtbl.t; (* normalized (min, max) *)
   ctl_latency : float array; (* per-node control-plane latency (Geo/Fixed) *)
   mutable controller_busy_until : float;
-  stats : counters;
+  metrics : Obs.Metrics.t;
+  stats : stats_handles;
 }
 
 let compute_ctl_latencies topo cfg =
@@ -88,10 +111,27 @@ let compute_ctl_latencies topo cfg =
           | Some path -> Graph.path_latency g path
           | None -> invalid_arg "Netsim: controller cannot reach every node"))
 
+let make_stats_handles metrics =
+  let c = Obs.Metrics.counter metrics in
+  {
+    h_data_packets = c "net.data.rx";
+    h_control_to_switch = c "net.ctl.to_switch";
+    h_control_to_controller = c "net.ctl.to_controller";
+    h_resubmissions = c "net.data.resubmit";
+    h_dropped_by_fault = c "net.fault.dropped";
+    h_delayed_by_fault = c "net.fault.delayed";
+    h_corrupted_by_fault = c "net.fault.corrupted";
+    h_duplicated_by_fault = c "net.fault.duplicated";
+    h_dropped_by_failure = c "net.failure.dropped";
+    h_control_kind_tx =
+      Array.init kind_space (fun k -> c ("net.ctl.kind." ^ kind_names.(k)));
+  }
+
 let create ?(config = default_config) sim topo =
   let g = topo.Topologies.graph in
   let n = Graph.node_count g in
   let ports = Array.init n (fun node -> Array.of_list (Graph.neighbors g node)) in
+  let metrics = Obs.Metrics.create () in
   {
     sim;
     topo;
@@ -108,28 +148,35 @@ let create ?(config = default_config) sim topo =
     link_failed = Hashtbl.create 8;
     ctl_latency = compute_ctl_latencies topo config;
     controller_busy_until = 0.0;
-    stats =
-      {
-        data_packets = 0;
-        control_to_switch = 0;
-        control_to_controller = 0;
-        resubmissions = 0;
-        dropped_by_fault = 0;
-        delayed_by_fault = 0;
-        corrupted_by_fault = 0;
-        duplicated_by_fault = 0;
-        dropped_by_failure = 0;
-        control_kind_tx = Array.make kind_space 0;
-      };
+    metrics;
+    stats = make_stats_handles metrics;
   }
 
 let sim t = t.sim
 let topology t = t.topo
 let graph t = t.topo.Topologies.graph
 let config t = t.cfg
-let counters t = t.stats
+let metrics t = t.metrics
+
+let counters t =
+  let s = t.stats in
+  let c = Obs.Metrics.count in
+  {
+    data_packets = c s.h_data_packets;
+    control_to_switch = c s.h_control_to_switch;
+    control_to_controller = c s.h_control_to_controller;
+    resubmissions = c s.h_resubmissions;
+    dropped_by_fault = c s.h_dropped_by_fault;
+    delayed_by_fault = c s.h_delayed_by_fault;
+    corrupted_by_fault = c s.h_corrupted_by_fault;
+    duplicated_by_fault = c s.h_duplicated_by_fault;
+    dropped_by_failure = c s.h_dropped_by_failure;
+    control_kind_tx = Array.map c s.h_control_kind_tx;
+  }
+
 let control_kind_count t ~kind =
-  if kind < 0 || kind >= kind_space then 0 else t.stats.control_kind_tx.(kind)
+  if kind < 0 || kind >= kind_space then 0
+  else Obs.Metrics.count t.stats.h_control_kind_tx.(kind)
 
 let port_count t ~node = Array.length t.ports.(node)
 
@@ -167,7 +214,18 @@ let link_key u v = (min u v, max u v)
 let node_is_up t ~node = not t.node_down.(node)
 let link_is_up t u v = not (Hashtbl.mem t.link_failed (link_key u v))
 
-let fire_topo_event t ev = List.iter (fun f -> f ev) t.topo_observers
+let fire_topo_event t ev =
+  if Obs.Trace.enabled () then begin
+    let name, attrs =
+      match ev with
+      | Link_down (u, v) -> ("link.down", [ Obs.Trace.int "u" u; Obs.Trace.int "v" v ])
+      | Link_up (u, v) -> ("link.up", [ Obs.Trace.int "u" u; Obs.Trace.int "v" v ])
+      | Node_down n -> ("node.down", [ Obs.Trace.int "node" n ])
+      | Node_up n -> ("node.up", [ Obs.Trace.int "node" n ])
+    in
+    Obs.Trace.instant ~cat:"topo" ~attrs name
+  end;
+  List.iter (fun f -> f ev) t.topo_observers
 
 let check_link t u v fn =
   if not (Graph.has_edge (graph t) u v) then
@@ -229,19 +287,27 @@ let duplicate_gap_ms = 0.01
    through the hook at most once more (it may itself be dropped, delayed
    or corrupted), and a [Duplicate] verdict on the copy is absorbed as
    [Deliver] so duplicate-of-duplicate storms are impossible. *)
+let fault_instant name =
+  if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"fault" name
+
 let rec apply_fault t ~hook ~deliver ~delay ~dup_budget bytes =
   match hook bytes with
   | Deliver -> deliver bytes delay
-  | Drop -> t.stats.dropped_by_fault <- t.stats.dropped_by_fault + 1
+  | Drop ->
+    Obs.Metrics.incr t.stats.h_dropped_by_fault;
+    fault_instant "fault.drop"
   | Delay extra ->
-    t.stats.delayed_by_fault <- t.stats.delayed_by_fault + 1;
+    Obs.Metrics.incr t.stats.h_delayed_by_fault;
+    fault_instant "fault.delay";
     deliver bytes (delay +. Float.max 0.0 extra)
   | Corrupt ->
-    t.stats.corrupted_by_fault <- t.stats.corrupted_by_fault + 1;
+    Obs.Metrics.incr t.stats.h_corrupted_by_fault;
+    fault_instant "fault.corrupt";
     deliver (corrupt_bytes (Sim.rng t.sim) bytes) delay
   | Duplicate when dup_budget <= 0 -> deliver bytes delay
   | Duplicate ->
-    t.stats.duplicated_by_fault <- t.stats.duplicated_by_fault + 1;
+    Obs.Metrics.incr t.stats.h_duplicated_by_fault;
+    fault_instant "fault.duplicate";
     deliver bytes delay;
     apply_fault t ~hook ~deliver
       ~delay:(delay +. duplicate_gap_ms)
@@ -258,9 +324,12 @@ let deliver_data t ~via ~node ~port bytes delay =
       (* A packet in flight is lost if the link or the receiver went down
          before it arrived. *)
       if t.node_down.(node) || not (link_is_up t via node) then
-        t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+        Obs.Metrics.incr t.stats.h_dropped_by_failure
       else begin
-        t.stats.data_packets <- t.stats.data_packets + 1;
+        Obs.Metrics.incr t.stats.h_data_packets;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~cat:"net" ~node "data.rx"
+            ~attrs:[ Obs.Trace.int "from" via; Obs.Trace.int "port" port ];
         List.iter (fun f -> f (Sim.now t.sim) node port bytes) t.observers;
         t.handlers.(node) (Data { port; bytes })
       end)
@@ -271,7 +340,7 @@ let transmit t ~from ~port bytes =
   | Some neighbor ->
     if t.node_down.(from) then () (* a dead node emits nothing *)
     else if t.node_down.(neighbor) || not (link_is_up t from neighbor) then
-      t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+      Obs.Metrics.incr t.stats.h_dropped_by_failure
     else begin
       let link = Graph.latency (graph t) from neighbor in
       let delay = link +. t.cfg.switch_processing_ms in
@@ -288,7 +357,7 @@ let transmit t ~from ~port bytes =
     end
 
 let resubmit t ~node bytes =
-  t.stats.resubmissions <- t.stats.resubmissions + 1;
+  Obs.Metrics.incr t.stats.h_resubmissions;
   Sim.schedule t.sim ~delay:t.cfg.resubmit_delay_ms (fun () ->
       if node_is_up t ~node then t.handlers.(node) (Data { port = -1; bytes }))
 
@@ -301,7 +370,7 @@ let classify_control t bytes =
   | None -> ()
   | Some f ->
     let kind = match f bytes with Some k when k > 0 && k < kind_space -> k | _ -> 0 in
-    t.stats.control_kind_tx.(kind) <- t.stats.control_kind_tx.(kind) + 1
+    Obs.Metrics.incr t.stats.h_control_kind_tx.(kind)
 
 (* The controller is a single-thread FIFO server: each message (in either
    direction) occupies it for [controller_service_ms]. *)
@@ -320,9 +389,9 @@ let control_hook t ~dir =
 
 let notify_controller t ~from bytes =
   if t.node_down.(from) then
-    t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+    Obs.Metrics.incr t.stats.h_dropped_by_failure
   else begin
-    t.stats.control_to_controller <- t.stats.control_to_controller + 1;
+    Obs.Metrics.incr t.stats.h_control_to_controller;
     classify_control t bytes;
     let uplink = sample_ctl_latency t ~node:from in
     apply_fault t
@@ -338,7 +407,7 @@ let notify_controller t ~from bytes =
   end
 
 let controller_transmit t ~to_ bytes =
-  t.stats.control_to_switch <- t.stats.control_to_switch + 1;
+  Obs.Metrics.incr t.stats.h_control_to_switch;
   classify_control t bytes;
   (* The controller's FIFO slot is paid once at send time; wire-level
      faults (including duplication) happen after the serialization
@@ -350,7 +419,7 @@ let controller_transmit t ~to_ bytes =
     ~deliver:(fun bytes delay ->
       Sim.schedule t.sim ~delay (fun () ->
           if t.node_down.(to_) then
-            t.stats.dropped_by_failure <- t.stats.dropped_by_failure + 1
+            Obs.Metrics.incr t.stats.h_dropped_by_failure
           else t.handlers.(to_) (From_controller bytes)))
     ~delay:(service_done +. downlink +. t.cfg.switch_processing_ms)
     ~dup_budget:1 bytes

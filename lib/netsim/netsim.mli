@@ -147,16 +147,20 @@ val on_topology_event : t -> (topo_event -> unit) -> unit
     delivery with [(time, node, port, bytes)] before the device runs. *)
 val on_delivery : t -> (float -> int -> int -> Bytes.t -> unit) -> unit
 
+(** Read-only snapshot of the network counters.  The live values are held
+    in an {!Obs.Metrics} registry (one per network, see {!metrics});
+    {!counters} materialises this record from it on each call, so the
+    historical field-access API keeps working unchanged. *)
 type counters = {
-  mutable data_packets : int;
-  mutable control_to_switch : int;
-  mutable control_to_controller : int;
-  mutable resubmissions : int;
-  mutable dropped_by_fault : int;
-  mutable delayed_by_fault : int;
-  mutable corrupted_by_fault : int;
-  mutable duplicated_by_fault : int;
-  mutable dropped_by_failure : int;
+  data_packets : int;
+  control_to_switch : int;
+  control_to_controller : int;
+  resubmissions : int;
+  dropped_by_fault : int;
+  delayed_by_fault : int;
+  corrupted_by_fault : int;
+  duplicated_by_fault : int;
+  dropped_by_failure : int;
       (** lost to a failed link or node (either plane) *)
   control_kind_tx : int array;
       (** control-channel sends per wire message kind, as classified by
@@ -164,6 +168,9 @@ type counters = {
 }
 
 val counters : t -> counters
+
+(** The network's metrics registry ([net.*] counters). *)
+val metrics : t -> Obs.Metrics.t
 
 (** [set_control_classifier t f] installs the function used to split the
     control-message counters by wire kind ([f bytes] returns the kind

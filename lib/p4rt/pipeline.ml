@@ -95,10 +95,49 @@ let fresh_ctx pkt ~in_port ~kind =
     digests = [];
   }
 
+let c_parse_errors = Obs.Metrics.(counter global) "p4rt.parser.errors"
+let c_resubmits = Obs.Metrics.(counter global) "p4rt.pipeline.resubmit_requests"
+let c_digests = Obs.Metrics.(counter global) "p4rt.pipeline.digests"
+
+let instance_name = function
+  | Normal -> "normal"
+  | Cloned -> "cloned"
+  | Resubmitted -> "resubmitted"
+
 let process t ~ingress_port ?(instance = Normal) bytes =
+  let span =
+    if Obs.Trace.enabled () then
+      Obs.Trace.span_begin ~cat:"p4rt" "pipeline.process"
+        ~attrs:
+          [
+            Obs.Trace.str "pipeline" t.pipe_name;
+            Obs.Trace.str "instance" (instance_name instance);
+            Obs.Trace.int "in_port" ingress_port;
+          ]
+    else 0
+  in
+  let finish (outcome : outcome) =
+    if span <> 0 then begin
+      if outcome.resubmitted <> None then Obs.Metrics.incr c_resubmits;
+      Obs.Metrics.incr c_digests ~by:(List.length outcome.to_controller);
+      Obs.Trace.span_end span
+        ~attrs:
+          [
+            Obs.Trace.int "emissions" (List.length outcome.emissions);
+            Obs.Trace.int "digests" (List.length outcome.to_controller);
+            ("resubmit", Obs.Json.Bool (outcome.resubmitted <> None));
+          ]
+    end
+    else begin
+      if outcome.resubmitted <> None then Obs.Metrics.incr c_resubmits;
+      Obs.Metrics.incr c_digests ~by:(List.length outcome.to_controller)
+    end;
+    outcome
+  in
   match Parser.run t.program.prog_parser bytes with
   | exception Parser.Parse_error _ ->
-    { emissions = []; resubmitted = None; to_controller = [] }
+    Obs.Metrics.incr c_parse_errors;
+    finish { emissions = []; resubmitted = None; to_controller = [] }
   | parsed ->
     let ctx = fresh_ctx parsed ~in_port:ingress_port ~kind:instance in
     t.program.prog_ingress ctx;
@@ -131,8 +170,9 @@ let process t ~ingress_port ?(instance = Normal) bytes =
     let clone_emissions =
       List.filter_map (fun (port, pkt) -> run_egress ~kind:Cloned ~port pkt) clone_jobs
     in
-    {
-      emissions = Option.to_list main_emission @ clone_emissions;
-      resubmitted;
-      to_controller = !digests;
-    }
+    finish
+      {
+        emissions = Option.to_list main_emission @ clone_emissions;
+        resubmitted;
+        to_controller = !digests;
+      }

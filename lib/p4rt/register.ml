@@ -2,12 +2,21 @@ type t = {
   reg_name : string;
   cell_width : int;
   cells : int array;
+  c_read : Obs.Metrics.counter;
+  c_write : Obs.Metrics.counter;
 }
+
+(* Register R/W is the hottest p4rt path (the UIB does dozens per packet),
+   so all registers share two process-wide counters rather than paying a
+   per-register name. *)
+let c_read_all = Obs.Metrics.(counter global) "p4rt.register.read"
+let c_write_all = Obs.Metrics.(counter global) "p4rt.register.write"
 
 let create ~name ~width ~size =
   if width < 1 || width > 62 then invalid_arg "Register.create: width outside [1, 62]";
   if size < 1 then invalid_arg "Register.create: size must be positive";
-  { reg_name = name; cell_width = width; cells = Array.make size 0 }
+  { reg_name = name; cell_width = width; cells = Array.make size 0;
+    c_read = c_read_all; c_write = c_write_all }
 
 let name t = t.reg_name
 let size t = Array.length t.cells
@@ -21,10 +30,12 @@ let check t i op =
 
 let read t i =
   check t i "read";
+  Obs.Metrics.incr t.c_read;
   t.cells.(i)
 
 let write t i v =
   check t i "write";
+  Obs.Metrics.incr t.c_write;
   t.cells.(i) <- v land ((1 lsl t.cell_width) - 1)
 
 let read_bv t i = Bitval.make ~width:t.cell_width (read t i)

@@ -26,6 +26,8 @@ type t = {
   default_data : int list;
   mutable entries : (int * entry) list; (* insertion index, entry *)
   mutable next_index : int;
+  c_hit : Obs.Metrics.counter;
+  c_miss : Obs.Metrics.counter;
 }
 
 let create ~name ~keys ~default_action ?(default_data = []) () =
@@ -37,6 +39,10 @@ let create ~name ~keys ~default_action ?(default_data = []) () =
     default_data;
     entries = [];
     next_index = 0;
+    (* Counters are named, so every instance of a table (one per switch)
+       shares the same process-wide hit/miss tallies. *)
+    c_hit = Obs.Metrics.(counter global) ("p4rt.table." ^ name ^ ".hit");
+    c_miss = Obs.Metrics.(counter global) ("p4rt.table." ^ name ^ ".miss");
   }
 
 let name t = t.table_name
@@ -110,5 +116,15 @@ let apply t key_values =
       None hits
   in
   match best with
-  | Some (_, entry) -> { hit = true; action = entry.action_name; data = entry.action_data }
-  | None -> { hit = false; action = t.default_action; data = t.default_data }
+  | Some (_, entry) ->
+    Obs.Metrics.incr t.c_hit;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"p4rt" "table.hit"
+        ~attrs:[ Obs.Trace.str "table" t.table_name; Obs.Trace.str "action" entry.action_name ];
+    { hit = true; action = entry.action_name; data = entry.action_data }
+  | None ->
+    Obs.Metrics.incr t.c_miss;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"p4rt" "table.miss"
+        ~attrs:[ Obs.Trace.str "table" t.table_name ];
+    { hit = false; action = t.default_action; data = t.default_data }

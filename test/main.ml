@@ -23,4 +23,5 @@ let () =
       ("inconsistency", Test_inconsistency.suite);
       ("baselines", Test_baselines.suite);
       ("ez-internals", Test_ez_internals.suite);
+      ("obs", Test_obs.suite);
     ]

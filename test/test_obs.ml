@@ -1,0 +1,255 @@
+(* Tests for the lib/obs tracing + metrics subsystem: span causality,
+   category filtering, anchors, histogram bucketing, JSON round-trips,
+   Chrome-trace well-formedness, and trace determinism. *)
+
+module Trace = Obs.Trace
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+
+let with_fresh_sink ?exclude ?clock f =
+  let sink = Trace.create ?exclude ?clock () in
+  Trace.install sink;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f sink)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let now = ref 0.0 in
+  with_fresh_sink ~clock:(fun () -> !now) (fun sink ->
+      let parent = Trace.span_begin ~cat:"update" "update" ~attrs:[ Trace.flow 7 ] in
+      now := 1.0;
+      let child = Trace.span_begin ~cat:"switch" "commit" ~parent ~node:3 in
+      Alcotest.(check bool) "ids nonzero" true (parent <> 0 && child <> 0);
+      Alcotest.(check bool) "ids distinct" true (parent <> child);
+      now := 5.0;
+      Trace.span_end child ~attrs:[ Trace.str "outcome" "committed" ];
+      now := 10.0;
+      Trace.span_end parent;
+      match Trace.events sink with
+      | [
+       Trace.Span_begin p;
+       Trace.Span_begin c;
+       Trace.Span_end { id = i1; ts = t1; _ };
+       Trace.Span_end { id = i2; ts = t2; _ };
+      ] ->
+        Alcotest.(check int) "root has no parent" 0 p.Trace.parent;
+        Alcotest.(check int) "child parent is root" parent c.Trace.parent;
+        Alcotest.(check int) "child node" 3 c.Trace.node;
+        Alcotest.(check (float 0.0)) "child begin ts" 1.0 c.Trace.ts;
+        Alcotest.(check int) "child ends first" child i1;
+        Alcotest.(check int) "parent ends last" parent i2;
+        Alcotest.(check bool) "nested interval" true (t1 <= t2)
+      | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs))
+
+let test_disabled_and_filtered () =
+  Trace.uninstall ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "begin when disabled" 0 (Trace.span_begin ~cat:"x" "noop");
+  Trace.span_end 0;
+  Trace.instant ~cat:"x" "noop";
+  with_fresh_sink ~exclude:[ "sim" ] (fun sink ->
+      Alcotest.(check int) "excluded cat yields id 0" 0
+        (Trace.span_begin ~cat:"sim" "dispatch");
+      Trace.instant ~cat:"sim" "tick";
+      Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events sink));
+      ignore (Trace.span_begin ~cat:"ctl" "kept");
+      Alcotest.(check int) "other cats recorded" 1 (List.length (Trace.events sink)))
+
+let test_anchors () =
+  with_fresh_sink (fun _sink ->
+      let id = Trace.span_begin ~cat:"update" "update" in
+      Trace.anchor_set "uim:1:2:3" id;
+      Alcotest.(check int) "get" id (Trace.anchor_get "uim:1:2:3");
+      Alcotest.(check int) "pop" id (Trace.anchor_pop "uim:1:2:3");
+      Alcotest.(check int) "pop empties" 0 (Trace.anchor_get "uim:1:2:3");
+      Trace.anchor_set "zero" 0;
+      Alcotest.(check int) "id 0 not anchored" 0 (Trace.anchor_get "zero"))
+
+(* --- metrics --- *)
+
+let test_metrics_registry () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "net.rx" in
+  Alcotest.(check bool) "counter idempotent" true (c == Metrics.counter r "net.rx");
+  Metrics.incr c;
+  Metrics.incr c ~by:4;
+  Alcotest.(check int) "count" 5 (Metrics.count c);
+  Alcotest.(check int) "get_count by name" 5 (Metrics.get_count r "net.rx");
+  let g = Metrics.gauge r "queue.depth" in
+  Metrics.set g 7.5;
+  Alcotest.(check (float 0.0)) "gauge" 7.5 (Metrics.value g);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.gauge: \"net.rx\" is not a gauge") (fun () ->
+      ignore (Metrics.gauge r "net.rx"));
+  Metrics.reset r;
+  Alcotest.(check int) "reset" 0 (Metrics.count c)
+
+let test_histogram_bucketing () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "latency" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.9; 3.0; 1024.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.hcount h);
+  Alcotest.(check (list (float 0.0))) "samples in order"
+    [ 0.5; 1.0; 1.9; 3.0; 1024.0 ] (Metrics.samples h);
+  (* Bucket floors are powers of two: 0, 1, 2, 4, ... *)
+  Alcotest.(check (float 0.0)) "bucket 0 floor" 0.0 (Metrics.bucket_floor 0);
+  Alcotest.(check (float 0.0)) "bucket 1 floor" 1.0 (Metrics.bucket_floor 1);
+  Alcotest.(check (float 0.0)) "bucket 3 floor" 4.0 (Metrics.bucket_floor 3);
+  match Metrics.get r "latency" with
+  | Some (Metrics.Histogram hh) ->
+    Alcotest.(check int) "sub-1 samples in bucket 0" 1 hh.Metrics.h_buckets.(0);
+    (* 1.0 and 1.9 land in [1, 2) *)
+    Alcotest.(check int) "[1,2) bucket" 2 hh.Metrics.h_buckets.(1);
+    (* 3.0 lands in [2, 4) *)
+    Alcotest.(check int) "[2,4) bucket" 1 hh.Metrics.h_buckets.(2);
+    (* 1024 = 2^10 lands in [1024, 2048) = bucket 11 *)
+    Alcotest.(check int) "[1024,2048) bucket" 1 hh.Metrics.h_buckets.(11)
+  | _ -> Alcotest.fail "histogram not registered"
+
+(* --- JSON --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.Str "a\"b\\c\nd");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.Float 0.1) ]);
+      ]
+  in
+  let s = Json.to_string v in
+  (match Json.of_string s with
+  | Json.Obj fields ->
+    Alcotest.(check int) "field count" 3 (List.length fields);
+    (match List.assoc "name" fields with
+    | Json.Str str -> Alcotest.(check string) "escapes survive" "a\"b\\c\nd" str
+    | _ -> Alcotest.fail "name not a string")
+  | _ -> Alcotest.fail "roundtrip lost the object");
+  (match Json.of_string "1 2" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "trailing garbage accepted")
+
+(* --- end-to-end: traced runs --- *)
+
+let fig1_setup =
+  {
+    Harness.Scenarios.topo = Topo.Topologies.fig1;
+    stragglers = false;
+    congestion = false;
+    headroom = 1.4;
+    control = None;
+  }
+
+let traced_fig1 seed =
+  Harness.Traced.run_single fig1_setup Harness.Scenarios.P4u
+    ~old_path:Topo.Topologies.fig1_old_path ~new_path:Topo.Topologies.fig1_new_path
+    ~seed
+
+let test_trace_determinism () =
+  let a = traced_fig1 1234 and b = traced_fig1 1234 in
+  Alcotest.(check (float 0.0)) "same completion" a.Harness.Traced.tr_completion_ms
+    b.Harness.Traced.tr_completion_ms;
+  Alcotest.(check string) "byte-identical JSONL"
+    (Trace.to_jsonl a.Harness.Traced.tr_sink)
+    (Trace.to_jsonl b.Harness.Traced.tr_sink)
+
+let test_no_sink_equivalence () =
+  (* With no sink installed the run must produce the same completion time:
+     tracing never perturbs the simulation. *)
+  let traced = traced_fig1 1234 in
+  Alcotest.(check bool) "no sink left installed" false (Trace.enabled ());
+  let bare =
+    Harness.Scenarios.single_flow_time fig1_setup Harness.Scenarios.P4u
+      ~old_path:Topo.Topologies.fig1_old_path ~new_path:Topo.Topologies.fig1_new_path
+      ~seed:1234
+  in
+  Alcotest.(check (float 0.0)) "identical completion" bare
+    traced.Harness.Traced.tr_completion_ms
+
+let test_chrome_export_wellformed () =
+  let r = traced_fig1 1234 in
+  let json = Json.of_string (Trace.to_chrome r.Harness.Traced.tr_sink) in
+  let evs =
+    match Json.to_list json with
+    | Some evs -> evs
+    | None -> Alcotest.fail "chrome export is not a JSON array"
+  in
+  Alcotest.(check bool) "nonempty" true (evs <> []);
+  let phases = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let ph =
+        match Json.member "ph" ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "event without ph"
+      in
+      Hashtbl.replace phases ph ();
+      (match Json.member "pid" ev with
+      | Some (Json.Int _) -> ()
+      | _ -> Alcotest.fail "event without pid");
+      if ph = "X" then begin
+        match (Json.member "ts" ev, Json.member "dur" ev, Json.member "name" ev) with
+        | Some (Json.Float ts), Some (Json.Float dur), Some (Json.Str _) ->
+          Alcotest.(check bool) "ts/dur sane" true (ts >= 0.0 && dur >= 0.0)
+        | _ -> Alcotest.fail "X event missing ts/dur/name"
+      end)
+    evs;
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) (Printf.sprintf "has %S events" ph) true
+        (Hashtbl.mem phases ph))
+    [ "M"; "X"; "s"; "f" ];
+  (* The causal span tree of the ISSUE's acceptance test: one complete
+     span per protocol stage. *)
+  let x_names =
+    List.filter_map
+      (fun ev ->
+        match (Json.member "ph" ev, Json.member "name" ev) with
+        | Some (Json.Str "X"), Some (Json.Str n) -> Some n
+        | _ -> None)
+      evs
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "span %S present" n) true
+        (List.mem n x_names))
+    [ "update"; "uim.flight"; "commit"; "unm.hop"; "ufm.flight" ]
+
+let test_phase_breakdown () =
+  let r = traced_fig1 1234 in
+  (match r.Harness.Traced.tr_phases with
+  | [] -> Alcotest.fail "no phase rows"
+  | rows ->
+    List.iter
+      (fun (row : Harness.Traced.phase_row) ->
+        let sum =
+          row.ph_prep +. row.ph_ctl_flight +. row.ph_propagation
+          +. row.ph_verification +. row.ph_ack
+        in
+        Alcotest.(check (float 1e-6)) "phases sum to total" row.ph_total sum;
+        Alcotest.(check bool) "phases nonnegative" true
+          (row.ph_prep >= 0.0 && row.ph_ctl_flight >= 0.0
+          && row.ph_propagation >= 0.0 && row.ph_verification >= 0.0
+          && row.ph_ack >= 0.0))
+      rows;
+    (* Single-flow run: the one root span's total is the completion time. *)
+    let total = List.fold_left (fun acc r -> acc +. r.Harness.Traced.ph_total) 0.0 rows in
+    let err = Float.abs (total -. r.Harness.Traced.tr_completion_ms) in
+    Alcotest.(check bool) "total within 1% of completion" true
+      (err <= 0.01 *. r.Harness.Traced.tr_completion_ms));
+  Alcotest.(check bool) "renders" true
+    (String.length (Harness.Traced.render_phases r.Harness.Traced.tr_phases) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting & causality" `Quick test_span_nesting;
+    Alcotest.test_case "disabled & filtered are no-ops" `Quick test_disabled_and_filtered;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+    Alcotest.test_case "no-sink equivalence" `Quick test_no_sink_equivalence;
+    Alcotest.test_case "chrome export well-formed" `Quick test_chrome_export_wellformed;
+    Alcotest.test_case "phase breakdown" `Quick test_phase_breakdown;
+  ]

@@ -12,6 +12,33 @@ let test_percentiles () =
   Alcotest.(check (float 0.001)) "median interpolates" 25.0 (Harness.Stats.median xs);
   Alcotest.(check (float 0.001)) "p25" 17.5 (Harness.Stats.percentile 25.0 xs)
 
+let test_empty_and_singleton () =
+  (* Order statistics on an empty sample raise instead of returning nan. *)
+  List.iter
+    (fun f ->
+      match f [] with
+      | (_ : float) -> Alcotest.fail "empty sample did not raise"
+      | exception Invalid_argument _ -> ())
+    [ Harness.Stats.percentile 50.0; Harness.Stats.minimum; Harness.Stats.maximum ];
+  Alcotest.(check (option (float 0.0))) "percentile_opt empty" None
+    (Harness.Stats.percentile_opt 50.0 []);
+  Alcotest.(check (option (float 0.0))) "minimum_opt empty" None
+    (Harness.Stats.minimum_opt []);
+  Alcotest.(check (option (float 0.0))) "maximum_opt empty" None
+    (Harness.Stats.maximum_opt []);
+  (* Singletons: every percentile is the sample itself. *)
+  Alcotest.(check (float 0.0)) "singleton p0" 4.0 (Harness.Stats.percentile 0.0 [ 4.0 ]);
+  Alcotest.(check (float 0.0)) "singleton p50" 4.0 (Harness.Stats.percentile 50.0 [ 4.0 ]);
+  Alcotest.(check (float 0.0)) "singleton p100" 4.0
+    (Harness.Stats.percentile 100.0 [ 4.0 ]);
+  Alcotest.(check (float 0.0)) "singleton min" 4.0 (Harness.Stats.minimum [ 4.0 ]);
+  Alcotest.(check (float 0.0)) "singleton max" 4.0 (Harness.Stats.maximum [ 4.0 ]);
+  Alcotest.(check (option (float 0.0))) "singleton opt" (Some 4.0)
+    (Harness.Stats.maximum_opt [ 4.0 ]);
+  (* summary must not crash on an empty series *)
+  Alcotest.(check bool) "summary empty" true
+    (String.length (Harness.Stats.summary "none" []) > 0)
+
 let test_cdf () =
   let cdf = Harness.Stats.cdf [ 3.0; 1.0; 2.0 ] in
   Alcotest.(check (list (pair (float 0.001) (float 0.001)))) "cdf"
@@ -124,6 +151,7 @@ let suite =
   [
     Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
     Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "empty and singleton samples" `Quick test_empty_and_singleton;
     Alcotest.test_case "cdf" `Quick test_cdf;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     Alcotest.test_case "workload properties" `Quick test_workload_properties;
