@@ -3,9 +3,42 @@
    the control-plane preparation functions with Bechamel.
 
    Run with: dune exec bench/main.exe            (full: 30 runs/figure)
-             dune exec bench/main.exe -- quick   (smoke: 5 runs/figure) *)
+             dune exec bench/main.exe -- quick   (smoke: 5 runs/figure)
+
+   With [--json FILE] every headline number is additionally written to
+   FILE as an array of {"name", "unit", "value"} rows, one per metric —
+   the format CI trend dashboards ingest. *)
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let json_out =
+  let out = ref None in
+  Array.iteri
+    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !out
+
+(* (name, unit, value) rows accumulated by every section below. *)
+let json_rows : (string * string * float) list ref = ref []
+
+let record name unit value =
+  if json_out <> None then json_rows := (name, unit, value) :: !json_rows
+
+let write_json_rows path =
+  let rows =
+    Obs.Json.List
+      (List.rev_map
+         (fun (name, unit, value) ->
+           Obs.Json.Obj
+             [ ("name", Obs.Json.Str name); ("unit", Obs.Json.Str unit);
+               ("value", Obs.Json.Float value) ])
+         !json_rows)
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(%d benchmark rows written to %s)\n" (List.length !json_rows) path
 
 let runs = if quick then 5 else Harness.Scenarios.runs
 let fig8_iterations = if quick then 100 else 1000
@@ -93,7 +126,9 @@ let run_bechamel () =
           Hashtbl.iter
             (fun name result ->
               match Bechamel.Analyze.OLS.estimates result with
-              | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run\n" name est
+              | Some [ est ] ->
+                Printf.printf "  %-48s %14.1f ns/run\n" name est;
+                record name "ns/run" est
               | _ -> Printf.printf "  %-48s (no estimate)\n" name)
             analyzed)
         instances)
@@ -124,18 +159,40 @@ let () =
       let result = Harness.Experiments.fig7 ~runs scenario in
       print_string (Harness.Experiments.render_fig7 result);
       Harness.Svg.render_fig7 ~dir:figures_dir result;
+      List.iter
+        (fun (sys, samples) ->
+          if samples <> [] then
+            record
+              (Printf.sprintf "fig%s/%s/median"
+                 result.Harness.Experiments.f7_scenario.Harness.Experiments.f7_id
+                 (Harness.Scenarios.system_name sys))
+              "ms" (Harness.Stats.median samples))
+        result.Harness.Experiments.f7_samples;
       print_newline ())
     (Harness.Experiments.fig7_scenarios ());
 
+  let record_fig8 fig rows =
+    List.iter
+      (fun (r : Harness.Experiments.fig8_row) ->
+        record
+          (Printf.sprintf "%s/prepare/%s/p4update" fig r.Harness.Experiments.f8_topology)
+          "ms" r.Harness.Experiments.f8_p4u_ms;
+        record
+          (Printf.sprintf "%s/prepare/%s/ez-segway" fig r.Harness.Experiments.f8_topology)
+          "ms" r.Harness.Experiments.f8_ez_ms)
+      rows
+  in
   section "Fig. 8a - control plane preparation time, no congestion (par. 9.3)";
   let fig8a = Harness.Experiments.fig8 ~iterations:fig8_iterations ~congestion:false () in
   print_string (Harness.Experiments.render_fig8 ~congestion:false fig8a);
   Harness.Svg.render_fig8 ~dir:figures_dir ~congestion:false fig8a;
+  record_fig8 "fig8a" fig8a;
 
   section "Fig. 8b - control plane preparation time with congestion freedom (par. 9.3)";
   let fig8b = Harness.Experiments.fig8 ~iterations:(fig8_iterations / 10) ~congestion:true () in
   print_string (Harness.Experiments.render_fig8 ~congestion:true fig8b);
   Harness.Svg.render_fig8 ~dir:figures_dir ~congestion:true fig8b;
+  record_fig8 "fig8b" fig8b;
   Printf.printf "\n(SVG versions of every figure written to %s/)\n" figures_dir;
 
   section "Ablation - SL vs DL on the single-flow scenarios (par. 7.5 policy)";
@@ -148,4 +205,5 @@ let () =
   print_string (Harness.Ablation.render_scheduler_ablation ~runs:(max 3 (runs / 3)) ());
 
   run_bechamel ();
+  (match json_out with Some path -> write_json_rows path | None -> ());
   print_newline ()

@@ -370,6 +370,108 @@ let chaos_cmd =
           the Thm. 1-4 invariants and convergence.")
     Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg $ trace_out_arg)
 
+(* --- mc --- *)
+
+let mc_cmd =
+  let scenario_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"SC"
+             ~doc:(Printf.sprintf "Scenario to check: %s or all (default)."
+                     (String.concat ", "
+                        (List.map (fun s -> s.Mc.Scenario.sc_name) Mc.Scenario.all))))
+  in
+  let window_arg =
+    Arg.(value & opt (some float) None
+         & info [ "window" ] ~docv:"MS"
+             ~doc:"Reorder window in ms (default: per-scenario). Deliveries within \
+                   WINDOW ms of the earliest pending event may be scheduled first.")
+  in
+  let depth_arg =
+    Arg.(value & opt int Mc.Explore.default_bounds.Mc.Explore.b_max_depth
+         & info [ "depth" ] ~docv:"N" ~doc:"Maximum branch points per schedule.")
+  in
+  let max_schedules_arg =
+    Arg.(value & opt int Mc.Explore.default_bounds.Mc.Explore.b_max_schedules
+         & info [ "max-schedules" ] ~docv:"N" ~doc:"Stop after exploring N schedules.")
+  in
+  let no_por_arg =
+    Arg.(value & flag
+         & info [ "no-por" ]
+             ~doc:"Disable sleep-set partial-order reduction (to measure its effect).")
+  in
+  let unsafe_arg =
+    Arg.(value & flag
+         & info [ "unsafe" ]
+             ~doc:"Toggle the scenario's DESIGN \xc2\xa74b fix OFF for the run: the checker \
+                   must then find and minimize the historical violation.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Replay the (minimized) counterexample — or the default schedule if \
+                   none — and write a Chrome trace with mc.choice instants.")
+  in
+  let run scenario window depth max_schedules no_por unsafe trace_out =
+    let scenarios =
+      match scenario with
+      | None -> Mc.Scenario.all
+      | Some name -> (
+        match Mc.Scenario.find name with
+        | Some sc -> [ sc ]
+        | None ->
+          Printf.eprintf "unknown mc scenario %S (try: %s)\n" name
+            (String.concat ", " (List.map (fun s -> s.Mc.Scenario.sc_name) Mc.Scenario.all));
+          exit 1)
+    in
+    let bounds =
+      { Mc.Explore.default_bounds with
+        b_window_ms = window; b_max_depth = depth; b_max_schedules = max_schedules;
+        b_por = not no_por }
+    in
+    let found = ref false in
+    List.iter
+      (fun sc ->
+        let r = Mc.Explore.check ~bounds ~unsafe sc in
+        print_endline (Mc.Explore.verdict_line r);
+        match r.Mc.Explore.r_verdict with
+        | Mc.Explore.Found cex ->
+          found := true;
+          (match trace_out with
+           | None -> ()
+           | Some path ->
+             let sink = Obs.Trace.create ~exclude:[ "sim" ] () in
+             Mc.Scenario.with_toggle sc ~unsafe (fun () ->
+                 Mc.Explore.replay sc ~window:r.Mc.Explore.r_window_ms
+                   cex.Mc.Explore.cex_schedule sink);
+             write_file path (Obs.Trace.to_chrome ~pretty:true sink);
+             Printf.printf "counterexample replay: %d events -> %s (load at \
+                            https://ui.perfetto.dev)\n"
+               (List.length (Obs.Trace.events sink)) path)
+        | _ ->
+          (match trace_out with
+           | None -> ()
+           | Some path ->
+             let sink = Obs.Trace.create ~exclude:[ "sim" ] () in
+             Mc.Scenario.with_toggle sc ~unsafe (fun () ->
+                 Mc.Explore.replay sc ~window:r.Mc.Explore.r_window_ms [] sink);
+             write_file path (Obs.Trace.to_chrome ~pretty:true sink);
+             Printf.printf "default-schedule replay: %d events -> %s\n"
+               (List.length (Obs.Trace.events sink)) path))
+      scenarios;
+    (* [--unsafe] succeeding means the violation WAS found; plain runs
+       succeed when no violation exists. *)
+    if unsafe && not !found then exit 1;
+    if (not unsafe) && !found then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Systematically model-check delivery interleavings of a scenario against the \
+          Thm. 1-4 invariants (sleep-set POR, fingerprint pruning, counterexample \
+          minimization).")
+    Term.(const run $ scenario_arg $ window_arg $ depth_arg $ max_schedules_arg
+          $ no_por_arg $ unsafe_arg $ trace_out_arg)
+
 (* --- import --- *)
 
 let import_cmd =
@@ -418,4 +520,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
-          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; import_cmd ]))
+          [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
+            import_cmd ]))

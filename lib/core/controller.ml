@@ -339,6 +339,25 @@ and kick t (flow : flow) =
 let flows_sorted t =
   List.sort (fun a b -> compare a.flow_id b.flow_id) (flows t)
 
+(* Digest of the controller's flow database and retrigger bookkeeping for
+   the model checker's state pruning.  Sorted so that hash-table
+   insertion history does not leak into the fingerprint. *)
+let fingerprint t =
+  let flow_part =
+    List.fold_left
+      (fun acc f ->
+        (acc * 31)
+        lxor Hashtbl.hash
+              (f.flow_id, f.version, f.path, Wire.update_type_to_int f.last_type))
+      5 (flows_sorted t)
+  in
+  let retrigger_part =
+    Hashtbl.fold (fun k v acc -> Hashtbl.hash (k, v) :: acc) t.retriggers []
+    |> List.sort compare
+    |> List.fold_left (fun acc x -> (acc * 31) lxor x) 7
+  in
+  (flow_part * 131) lxor retrigger_part lxor (t.alarms * 97)
+
 let flows_affected t ~uses = List.filter (fun f -> uses f.path) (flows_sorted t)
 
 let handle_topo_event t = function

@@ -81,6 +81,10 @@ val set_allow_consecutive_dl : t -> bool -> unit
 val find_flow : t -> flow_id:int -> flow option
 val flows : t -> flow list
 
+(** Digest of the flow database, retrigger bookkeeping and alarm count,
+    for the model checker's revisited-state pruning. *)
+val fingerprint : t -> int
+
 (** {2 Preparation (the Fig. 8 benchmark surface)} *)
 
 (** [choose_type t ~old_path ~new_path ~last_type] applies the §7.5

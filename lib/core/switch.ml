@@ -67,6 +67,14 @@ type t = {
 
 let congestion_budget = 10_000
 
+(* Test-only escape hatch: when set, a segment-egress gateway proposes
+   its segment even without a live forwarding rule — the paper's literal
+   Alg. 2, without the DESIGN §4b egress-port guard against the
+   controller's inconsistent view.  The model checker's regression pins
+   flip this to show the resulting blackhole interleaving. *)
+let unsafe_ruleless_gateway = ref false
+let set_unsafe_ruleless_gateway v = unsafe_ruleless_gateway := v
+
 let push_action t a = t.queue <- t.queue @ [ a ]
 
 let node t = t.node
@@ -503,7 +511,7 @@ let handle_uim t ctx (c : Wire.control) =
       (* Local verification: only a node that actually holds a forwarding
          rule may invite upstream traffic.  The controller may wrongly
          believe this node is on the old path (inconsistent view, par. 5). *)
-      && Uib.egress_port u flow_id <> Wire.port_none
+      && (!unsafe_ruleless_gateway || Uib.egress_port u flow_id <> Wire.port_none)
     then begin
       (* A segment-egress gateway immediately proposes its segment id to
          its segment (second-layer UNM), before updating itself. *)
@@ -826,3 +834,37 @@ let install_initial t ~flow_id ~version ~dist ~egress_port ~notify_port ~size =
 
 let forwarding_port t ~flow_id = Uib.egress_port t.uib flow_id
 let version_of t ~flow_id = Uib.ver_cur t.uib flow_id
+
+(* Digest of the switch's full soft state for the model checker: UIB
+   registers plus the scratch tables that survive between events
+   (staged commits, wait/congestion budgets, FRM dedup, port waits).
+   Hashtbl iteration order depends on insertion history, so bindings
+   are sorted before mixing. *)
+let hash_table_sorted h hash_binding =
+  Hashtbl.fold (fun k v acc -> hash_binding k v :: acc) h []
+  |> List.sort compare
+  |> List.fold_left (fun acc x -> (acc * 31) lxor x) 3
+
+let fingerprint t =
+  let pc_hash fid pc =
+    Hashtbl.hash
+      ( fid,
+        pc.pc_version,
+        pc.pc_dist_new,
+        pc.pc_egress,
+        pc.pc_notify,
+        (pc.pc_utype, pc.pc_ver_prev, pc.pc_two_phase, pc.pc_chain),
+        (pc.pc_label, pc.pc_counter, pc.pc_cancelled) )
+  in
+  let int_binding k v = Hashtbl.hash (k, v) in
+  let parts =
+    [
+      Uib.fingerprint t.uib;
+      hash_table_sorted t.pending pc_hash;
+      hash_table_sorted t.wait_counts int_binding;
+      hash_table_sorted t.cong_counts int_binding;
+      hash_table_sorted t.frm_sent (fun k () -> Hashtbl.hash k);
+      hash_table_sorted t.waiting_on int_binding;
+    ]
+  in
+  List.fold_left (fun acc x -> (acc * 131) lxor x) t.node parts

@@ -83,3 +83,15 @@ val enable_consecutive_dl : t -> unit
 (** Resubmission budget for a single waiting notification before the
     switch gives up and alarms the controller. *)
 val wait_budget : int
+
+(** Digest of the switch's full soft state — UIB registers plus staged
+    commits and scratch tables — for the model checker's revisited-state
+    pruning.  Equal states hash equal regardless of table insertion
+    order. *)
+val fingerprint : t -> int
+
+(** Test-only: drop the DESIGN §4b egress-port guard so a segment-egress
+    gateway without a live forwarding rule still proposes its segment
+    (the paper's literal Alg. 2).  Global toggle; always restore to
+    [false] after use. *)
+val set_unsafe_ruleless_gateway : bool -> unit

@@ -79,6 +79,16 @@ let registers t =
    committed rule, staged indication and reservation is gone (§11). *)
 let reset t = List.iter Register.clear (registers t)
 
+(* Content digest of every register cell, for the model checker's
+   state-fingerprint pruning.  A hand-rolled multiplicative mix rather
+   than [Hashtbl.hash], which only samples a bounded prefix of large
+   arrays and would alias distinct UIB states. *)
+let fingerprint t =
+  List.fold_left
+    (fun acc r ->
+      Array.fold_left (fun h cell -> (h * 31) lxor cell) (acc * 131) (Register.dump r))
+    17 (registers t)
+
 (* Freshly created registers are all zero, but "no rule" must read as
    [Wire.port_none]; we keep the raw cells zero-initialized and translate
    port reads instead: a 0 version means "never configured", under which

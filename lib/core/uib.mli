@@ -19,6 +19,11 @@ val registers : t -> P4rt.Register.t list
     re-installs them (see {!Switch.restart}). *)
 val reset : t -> unit
 
+(** Content digest of every register cell (committed state, staging
+    registers, reservations).  Equal states hash equal; used by the
+    model checker ([lib/mc]) to prune revisited global states. *)
+val fingerprint : t -> int
+
 (** {2 Committed per-flow state (Table 1)} *)
 
 val ver_cur : t -> int -> int

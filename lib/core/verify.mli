@@ -75,3 +75,11 @@ val sl_verify : node_view -> unm_view -> decision
 val dl_verify : ?consecutive:bool -> node_view -> unm_view -> decision
 
 val decision_to_string : decision -> string
+
+(** Test-only: weaken Alg. 2's inside-segment branch to the paper's
+    literal form (distance check only), dropping the strictly-smaller
+    old-distance-label guard that DESIGN §4b adds for nodes still
+    carrying a live rule.  The model checker's regression pins flip this
+    on and assert a loop interleaving exists.  Always restore to [false]
+    (e.g. with [Fun.protect]) — this is a global toggle, not per-world. *)
+val set_unsafe_inside_segment_commit : bool -> unit

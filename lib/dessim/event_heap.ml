@@ -1,4 +1,10 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* A delivery tag carried by schedulable events.  Tags are metadata only:
+   they never influence the default heap order.  The model checker
+   ([lib/mc]) uses them to identify commuting deliveries — kind of wire
+   event, receiving node, flow id, and a digest of the payload bytes. *)
+type tag = { tag_kind : string; tag_node : int; tag_flow : int; tag_hash : int }
+
+type 'a entry = { time : float; seq : int; tag : tag option; payload : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -46,8 +52,8 @@ let rec sift_down data len i =
     sift_down data len smallest
   end
 
-let push heap ~time payload =
-  let entry = { time; seq = heap.next_seq; payload } in
+let push ?tag heap ~time payload =
+  let entry = { time; seq = heap.next_seq; tag; payload } in
   heap.next_seq <- heap.next_seq + 1;
   grow heap entry;
   heap.data.(heap.len) <- entry;
@@ -70,3 +76,31 @@ let peek_time heap = if heap.len = 0 then None else Some heap.data.(0).time
 let size heap = heap.len
 let is_empty heap = heap.len = 0
 let clear heap = heap.len <- 0
+
+let fold heap ~init ~f =
+  let acc = ref init in
+  for i = 0 to heap.len - 1 do
+    let e = heap.data.(i) in
+    acc := f !acc ~time:e.time ~seq:e.seq ~tag:e.tag
+  done;
+  !acc
+
+(* Heap-internal index of the entry holding [seq], or -1. *)
+let index_of_seq heap seq =
+  let rec find i = if i >= heap.len then -1 else if heap.data.(i).seq = seq then i else find (i + 1) in
+  find 0
+
+let remove_seq heap seq =
+  let i = index_of_seq heap seq in
+  if i < 0 then None
+  else begin
+    let victim = heap.data.(i) in
+    heap.len <- heap.len - 1;
+    if i < heap.len then begin
+      heap.data.(i) <- heap.data.(heap.len);
+      (* The moved entry may need to travel either way. *)
+      sift_down heap.data heap.len i;
+      sift_up heap.data i
+    end;
+    Some (victim.time, victim.tag, victim.payload)
+  end

@@ -5,12 +5,19 @@
     delivered in scheduling order (stable FIFO tie-breaking).  This is
     essential for deterministic simulation replays. *)
 
+(** Optional metadata attached to an event at push time.  Tags never
+    affect ordering; they exist so a scheduling policy (the [lib/mc]
+    model checker) can recognise what a pending event *is*: the kind of
+    delivery, the node whose state it touches ([-1] = controller), the
+    flow it belongs to ([-1] = unknown), and a digest of the payload. *)
+type tag = { tag_kind : string; tag_node : int; tag_flow : int; tag_hash : int }
+
 type 'a t
 
 val create : unit -> 'a t
 
 (** [push heap ~time event] inserts [event] to fire at [time]. *)
-val push : 'a t -> time:float -> 'a -> unit
+val push : ?tag:tag -> 'a t -> time:float -> 'a -> unit
 
 (** [pop heap] removes and returns the earliest event, or [None] when the
     heap is empty. *)
@@ -25,3 +32,13 @@ val is_empty : 'a t -> bool
 
 (** [clear heap] drops all pending events. *)
 val clear : 'a t -> unit
+
+(** [fold heap ~init ~f] folds over every pending entry in unspecified
+    (heap-internal) order. *)
+val fold :
+  'a t -> init:'acc -> f:('acc -> time:float -> seq:int -> tag:tag option -> 'acc) -> 'acc
+
+(** [remove_seq heap seq] removes the entry with the given sequence
+    number, returning its time, tag and payload.  O(n); meant for the
+    model checker's choice-point layer, not for hot paths. *)
+val remove_seq : 'a t -> int -> (float * tag option * 'a) option

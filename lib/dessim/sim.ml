@@ -1,38 +1,113 @@
+type tag = Event_heap.tag = {
+  tag_kind : string;
+  tag_node : int;
+  tag_flow : int;
+  tag_hash : int;
+}
+
+type candidate = { c_time : float; c_seq : int; c_tag : tag option }
+
+type chooser = now:float -> candidate array -> int
+
 type t = {
   mutable clock : float;
   heap : (unit -> unit) Event_heap.t;
   random : Random.State.t;
+  mutable chooser : chooser option;
+  mutable chooser_window : float;
 }
 
 let create ?(seed = 0x5eed) () =
-  { clock = 0.0; heap = Event_heap.create (); random = Random.State.make [| seed |] }
+  {
+    clock = 0.0;
+    heap = Event_heap.create ();
+    random = Random.State.make [| seed |];
+    chooser = None;
+    chooser_window = 0.0;
+  }
 
 let now t = t.clock
 let rng t = t.random
 
-let schedule_at t ~time f =
+let set_chooser ?(window = 0.0) t chooser =
+  if not (Float.is_finite window) || window < 0.0 then
+    invalid_arg "Sim.set_chooser: negative or non-finite window";
+  t.chooser <- Some chooser;
+  t.chooser_window <- window
+
+let clear_chooser t =
+  t.chooser <- None;
+  t.chooser_window <- 0.0
+
+let chooser_installed t = t.chooser <> None
+
+let tag ~kind ~node ~flow ~hash =
+  { tag_kind = kind; tag_node = node; tag_flow = flow; tag_hash = hash }
+
+let schedule_at ?tag t ~time f =
   if not (Float.is_finite time) then invalid_arg "Sim.schedule_at: non-finite time";
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
-  Event_heap.push t.heap ~time f
+  Event_heap.push ?tag t.heap ~time f
 
-let schedule t ~delay f =
+let schedule ?tag t ~delay f =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Sim.schedule: negative or non-finite delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?tag t ~time:(t.clock +. delay) f
+
+let dispatch t ~time f =
+  t.clock <- time;
+  (* The "sim" category is excluded by default; enabling it gives a span
+     per dispatched event for scheduler-level profiling. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span ~cat:"sim" "dispatch"
+      ~attrs:[ Obs.Trace.float "time" time ]
+      f
+  else f ()
+
+(* Choice-point path: collect every pending event within the reorder
+   window of the earliest one (sorted by the default (time, seq) order,
+   so index 0 is what the plain heap would deliver), let the installed
+   policy pick one, and execute it.  Picking a later event models extra
+   network delay on the earlier ones, so the clock only ever moves
+   forward: it jumps to the *chosen* event's nominal time if that is
+   ahead, and stays put if the chosen event was nominally due earlier. *)
+let step_choose t chooser =
+  match Event_heap.peek_time t.heap with
+  | None -> false
+  | Some min_time ->
+    let horizon = min_time +. t.chooser_window in
+    let candidates =
+      Event_heap.fold t.heap ~init:[] ~f:(fun acc ~time ~seq ~tag ->
+          if time <= horizon then { c_time = time; c_seq = seq; c_tag = tag } :: acc
+          else acc)
+    in
+    let candidates =
+      Array.of_list
+        (List.sort
+           (fun a b ->
+             match compare a.c_time b.c_time with 0 -> compare a.c_seq b.c_seq | c -> c)
+           candidates)
+    in
+    let idx = chooser ~now:t.clock candidates in
+    if idx < 0 || idx >= Array.length candidates then
+      invalid_arg
+        (Printf.sprintf "Sim.step: chooser picked %d of %d candidates" idx
+           (Array.length candidates));
+    (match Event_heap.remove_seq t.heap candidates.(idx).c_seq with
+     | None -> assert false (* the candidate was just enumerated *)
+     | Some (time, _tag, f) ->
+       dispatch t ~time:(Float.max t.clock time) f;
+       true)
 
 let step t =
-  match Event_heap.pop t.heap with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    (* The "sim" category is excluded by default; enabling it gives a span
-       per dispatched event for scheduler-level profiling. *)
-    if Obs.Trace.enabled () then
-      Obs.Trace.with_span ~cat:"sim" "dispatch"
-        ~attrs:[ Obs.Trace.float "time" time ]
-        f
-    else f ();
-    true
+  match t.chooser with
+  | Some chooser -> step_choose t chooser
+  | None -> (
+    match Event_heap.pop t.heap with
+    | None -> false
+    | Some (time, f) ->
+      dispatch t ~time f;
+      true)
 
 let run ?until t =
   let horizon_reached () =
@@ -49,6 +124,9 @@ let run ?until t =
   loop 0
 
 let pending t = Event_heap.size t.heap
+
+let fold_pending t ~init ~f =
+  Event_heap.fold t.heap ~init ~f:(fun acc ~time ~seq:_ ~tag -> f acc ~time ~tag)
 
 let exponential t ~mean =
   if mean <= 0.0 then invalid_arg "Sim.exponential: mean must be positive";

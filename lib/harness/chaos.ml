@@ -44,7 +44,11 @@ let default_config =
     watchdog_ms = 400.0;
   }
 
-type violation = { v_time : float; v_flow : int; v_what : string }
+type violation = Invariants.violation = {
+  v_time : float;
+  v_flow : int;
+  v_what : string;
+}
 
 type report = {
   r_scenario : scenario;
@@ -210,74 +214,15 @@ let schedule_element_failures (w : World.t) cfg =
   count
 
 (* ------------------------------------------------------------------ *)
-(* Invariant probes (Thm. 1-4)                                          *)
+(* Invariant probes (Thm. 1-4) — shared implementation in Invariants.   *)
 (* ------------------------------------------------------------------ *)
 
-type probe_state = {
-  mutable violations : violation list;
-  ever_failed : bool array;
-  last_committed : (int * int, int) Hashtbl.t; (* (node, flow) -> version *)
-}
-
-let record ps ~time ~flow what =
-  ps.violations <- { v_time = time; v_flow = flow; v_what = what } :: ps.violations
-
-let install_probes (w : World.t) cfg ps (flows : P4update.Controller.flow list) =
+let install_probes (w : World.t) cfg monitor (flows : P4update.Controller.flow list) =
   let sim = w.World.sim in
-  let net = w.World.net in
-  (* Monotone versions (Thm. 4 / §5): commits at one switch for one flow
-     carry strictly increasing versions — except across a restart, which
-     legitimately wipes the register file. *)
-  Array.iteri
-    (fun node sw ->
-      P4update.Switch.on_commit sw (fun ~flow_id ~version ~time ->
-          let key = (node, flow_id) in
-          (match Hashtbl.find_opt ps.last_committed key with
-           | Some prev when version <= prev ->
-             record ps ~time ~flow:flow_id
-               (Printf.sprintf "non-monotone commit at node %d: %d after %d" node version
-                  prev)
-           | _ -> ());
-          Hashtbl.replace ps.last_committed key version))
-    w.World.switches;
-  Netsim.on_topology_event net (function
-    | Netsim.Node_down n ->
-      ps.ever_failed.(n) <- true;
-      Hashtbl.iter
-        (fun (node, flow) _ -> if node = n then Hashtbl.remove ps.last_committed (node, flow))
-        (Hashtbl.copy ps.last_committed)
-    | _ -> ());
-  (* Periodic structural checks: blackhole / loop freedom (Thm. 1, 2) and
-     capacity freedom (Thm. 3). *)
-  let check_once () =
-    let time = Sim.now sim in
-    List.iter
-      (fun (f : P4update.Controller.flow) ->
-        match
-          Fwdcheck.trace net w.World.switches ~flow_id:f.P4update.Controller.flow_id
-            ~src:f.P4update.Controller.src
-        with
-        | Fwdcheck.Reaches_egress _ -> ()
-        | Fwdcheck.Loop cycle ->
-          record ps ~time ~flow:f.P4update.Controller.flow_id
-            (Printf.sprintf "loop through [%s]"
-               (String.concat ";" (List.map string_of_int cycle)))
-        | Fwdcheck.Blackhole n ->
-          if not (ps.ever_failed.(n) || not (Netsim.node_is_up net ~node:n)) then
-            record ps ~time ~flow:f.P4update.Controller.flow_id
-              (Printf.sprintf "blackhole at healthy node %d" n))
-      flows;
-    List.iter
-      (fun (node, port, reserved, capacity) ->
-        record ps ~time ~flow:(-1)
-          (Printf.sprintf "over-capacity at node %d port %d: %d > %d" node port reserved
-             capacity))
-      (Fwdcheck.link_violations net w.World.switches)
-  in
   let rec arm time =
     if time <= cfg.horizon_ms then
       Sim.schedule_at sim ~time (fun () ->
-          check_once ();
+          Invariants.check_structural monitor flows;
           arm (time +. cfg.probe_interval_ms))
   in
   arm cfg.probe_interval_ms
@@ -319,14 +264,8 @@ let run_one ~scenario ~seed ~cfg =
     planned flows;
   install_fault_hooks w cfg;
   let element_failures = schedule_element_failures w cfg in
-  let ps =
-    {
-      violations = [];
-      ever_failed = Array.make (Graph.node_count topo.Topologies.graph) false;
-      last_committed = Hashtbl.create 64;
-    }
-  in
-  install_probes w cfg ps flows;
+  let monitor = Invariants.create w in
+  install_probes w cfg monitor flows;
   ignore (World.run ~until:cfg.horizon_ms w);
   let converged, completion =
     List.fold_left
@@ -361,7 +300,7 @@ let run_one ~scenario ~seed ~cfg =
     r_flows = List.length flows;
     r_converged = converged;
     r_baseline_converged = 0;
-    r_violations = List.rev ps.violations;
+    r_violations = Invariants.violations monitor;
     r_retransmissions = get (fun s -> s.P4update.Controller.retransmissions);
     r_reroutes = get (fun s -> s.P4update.Controller.reroutes);
     r_resyncs = get (fun s -> s.P4update.Controller.resyncs);

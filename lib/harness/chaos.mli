@@ -44,7 +44,13 @@ type config = {
 
 val default_config : config
 
-type violation = { v_time : float; v_flow : int; v_what : string }
+(** Re-export of {!Invariants.violation}: probes live in {!Invariants},
+    shared with the property tests and the [lib/mc] model checker. *)
+type violation = Invariants.violation = {
+  v_time : float;
+  v_flow : int;
+  v_what : string;
+}
 
 type report = {
   r_scenario : scenario;

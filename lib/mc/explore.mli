@@ -1,0 +1,93 @@
+(** Systematic interleaving exploration (stateless DFS) with sleep-set
+    partial-order reduction, fingerprint pruning and delta-debugging
+    counterexample minimization.
+
+    The explorer re-executes a {!Scenario.t} once per schedule, steering
+    delivery order through the {!Dessim.Sim.chooser} hook: a schedule is
+    the vector of picks made at branch points (instants where more than
+    one tagged delivery is enabled within the reorder window).  After
+    every event the shared {!Harness.Invariants} probes run; scenarios
+    with declared expectations are additionally checked for convergence
+    when a run drains. *)
+
+(** Exploration bounds.  [b_window_ms] overrides the scenario's default
+    reorder window; [b_max_depth] bounds branch points per schedule
+    (deeper choice points follow the default order); [b_max_events]
+    bounds events per execution; [b_por] disables sleep sets when
+    [false] (for measuring the reduction factor). *)
+type bounds = {
+  b_window_ms : float option;
+  b_max_depth : int;
+  b_max_schedules : int;
+  b_max_events : int;
+  b_por : bool;
+}
+
+val default_bounds : bounds
+
+type stats = {
+  mutable st_schedules : int;
+  mutable st_branch_points : int;
+  mutable st_states : int;
+  mutable st_pruned_visited : int;
+  mutable st_pruned_sleep : int;
+  mutable st_max_depth_seen : int;
+  mutable st_events : int;
+  mutable st_truncated : bool;
+}
+
+(** Schedules avoided per schedule explored ([>= 1.0]). *)
+val por_factor : stats -> float
+
+type counterexample = {
+  cex_schedule : int list;
+      (** pickable-candidate index chosen at each branch point; trailing
+          defaults trimmed after minimization *)
+  cex_what : string;
+  cex_time : float;
+}
+
+type verdict =
+  | Verified_exhaustive  (** every schedule within the window explored *)
+  | Verified_bounded     (** no violation, but a depth/schedule/event cap hit *)
+  | Found of counterexample
+
+type result = {
+  r_scenario : string;
+  r_window_ms : float;
+  r_verdict : verdict;
+  r_stats : stats;
+}
+
+(** [explore ?bounds sc] runs the DFS and stops at the first violation
+    (unminimized) or when the schedule space within the bounds is
+    exhausted. *)
+val explore : ?bounds:bounds -> Scenario.t -> result
+
+(** [minimize sc ~window schedule] greedily resets choices to the
+    default and trims the all-default tail while the violation persists;
+    each probe is one deterministic replay (POR off, so explicit
+    schedules replay independently of exploration order). *)
+val minimize : ?bounds:bounds -> Scenario.t -> window:float -> int list -> int list
+
+(** [check ?bounds ?unsafe sc] = {!explore} + {!minimize} on any
+    counterexample, with the scenario's §4b fix toggled off for the
+    whole run when [unsafe] (default [false]).  This is the CLI and
+    test entry point. *)
+val check : ?bounds:bounds -> ?unsafe:bool -> Scenario.t -> result
+
+(** [replay sc ~window schedule sink] re-executes one schedule under
+    [sink]; every branch decision emits an ["mc.choice"] instant (category
+    ["mc"]) and a violation, if hit, an ["mc.violation"] instant — on top
+    of the regular cross-layer instrumentation.  Export the sink with
+    {!Obs.Trace.to_chrome} for Perfetto. *)
+val replay :
+  ?bounds:bounds ->
+  Scenario.t ->
+  window:float ->
+  int list ->
+  Obs.Trace.sink ->
+  unit
+
+(** Human-readable one-line summary of a result. *)
+val verdict_line : result -> string

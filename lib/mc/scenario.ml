@@ -1,0 +1,231 @@
+(* Bounded model-checking scenarios.
+
+   Each scenario deterministically builds a world, installs a flow and
+   schedules one or two updates.  The configurations are RNG-free on
+   purpose ([Fixed] control latency, no rule-update stragglers, no
+   controller background load): the global state is then a pure function
+   of the delivery order, which is what makes fingerprint-based pruning
+   sound — two schedules reaching the same fingerprint really are in the
+   same state. *)
+
+module Sim = Dessim.Sim
+module World = Harness.World
+module Topologies = Topo.Topologies
+
+type ctx = {
+  cx_world : World.t;
+  cx_monitor : Harness.Invariants.monitor;
+  cx_flows : P4update.Controller.flow list;
+  cx_expect : (int * int list) list option;
+      (* (flow_id, final path) — None: check safety invariants only
+         (regression scenarios are expected to wedge when the fix is on) *)
+  cx_horizon_ms : float;
+}
+
+type unsafe_toggle = No_toggle | Inside_segment | Ruleless_gateway
+
+type t = {
+  sc_name : string;
+  sc_descr : string;
+  sc_window_ms : float; (* default reorder window *)
+  sc_toggle : unsafe_toggle;
+      (* which DESIGN §4b fix [--unsafe] disables for this scenario *)
+  sc_build : unit -> ctx;
+}
+
+let mc_config =
+  {
+    Netsim.default_config with
+    control_latency = Netsim.Fixed 1.0;
+    rule_update_mean_ms = None;
+    controller_background_ms = 0.0;
+  }
+
+(* Tag deliveries with the flow they belong to, so the explorer can tell
+   which pending messages commute. *)
+let install_flow_extractor net =
+  Netsim.set_flow_extractor net (fun bytes ->
+      match P4update.Wire.packet_of_bytes bytes with
+      | None -> None
+      | Some p -> (
+        match P4update.Wire.control_of_packet p with
+        | Some c -> Some c.P4update.Wire.flow_id
+        | None -> (
+          match P4update.Wire.data_of_packet p with
+          | Some d -> Some d.P4update.Wire.d_flow_id
+          | None -> None)))
+
+let make_world topo =
+  let w = World.make ~seed:7 ~config:mc_config topo in
+  install_flow_extractor w.World.net;
+  w
+
+(* Fig. 2a: the paper's running example — one SL update moving the flow
+   from [0;1;2;3;4] to [0;1;2;4] on the 5-node Fig. 2 topology. *)
+let build_fig2a () =
+  let w = make_world (Topologies.fig2 ()) in
+  let monitor = Harness.Invariants.create w in
+  let flow =
+    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_a
+  in
+  ignore
+    (P4update.Controller.update_flow w.World.controller
+       ~flow_id:flow.P4update.Controller.flow_id ~new_path:Topologies.fig2_config_b
+       ~update_type:P4update.Wire.Sl ());
+  {
+    cx_world = w;
+    cx_monitor = monitor;
+    cx_flows = [ flow ];
+    cx_expect = Some [ (flow.P4update.Controller.flow_id, Topologies.fig2_config_b) ];
+    cx_horizon_ms = 500.0;
+  }
+
+(* The 6-node skip-ahead scenario (Fig. 4): a DL update U2 is overtaken
+   by a later SL update U3 pushed [gap] ms later; every interleaving must
+   still converge to U3's path. *)
+let six_skip_gap_ms = 2.0
+
+let build_six_skip () =
+  let w = make_world (Topologies.six_node ()) in
+  let monitor = Harness.Invariants.create w in
+  let v1 = [ 0; 2; 3; 5 ] and u2 = [ 0; 1; 3; 2; 4; 5 ] and u3 = [ 0; 2; 4; 5 ] in
+  let flow = World.install_flow w ~src:0 ~dst:5 ~size:100 ~path:v1 in
+  let fid = flow.P4update.Controller.flow_id in
+  ignore
+    (P4update.Controller.update_flow w.World.controller ~flow_id:fid ~new_path:u2
+       ~update_type:P4update.Wire.Dl ());
+  Sim.schedule w.World.sim ~delay:six_skip_gap_ms (fun () ->
+      ignore
+        (P4update.Controller.update_flow w.World.controller ~flow_id:fid ~new_path:u3
+           ~update_type:P4update.Wire.Sl ()));
+  {
+    cx_world = w;
+    cx_monitor = monitor;
+    cx_flows = [ flow ];
+    cx_expect = Some [ (fid, u3) ];
+    cx_horizon_ms = 1000.0;
+  }
+
+(* Regression pin for DESIGN §4b fix 2 (the egress-port guard): the
+   controller's view of the old path is wrong — it believes node 3 is on
+   the path and holds a rule (3->4), but the actually-installed path
+   bypasses it, so node 3 is rule-less.  One update to the flow was lost
+   before reaching the data plane ([bump_version]), so when the DL
+   update arrives, upstream node 1 lags two versions — an inside-segment
+   node whose Alg. 2 branch skips the version-chain check and accepts
+   any strictly-smaller old-distance label.  A rule-less node 3 invited
+   to act as segment egress would propose with the trivially-smallest
+   label 0: with the guard off ([--unsafe]), node 1 joins and forwards
+   into empty node 3 — a blackhole at a healthy node.  With the guard,
+   3 never proposes until it holds a rule, and every schedule is safe. *)
+let build_ruleless_gateway () =
+  let w = make_world (Topologies.fig2 ()) in
+  let monitor = Harness.Invariants.create w in
+  let flow =
+    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_b
+  in
+  let fid = flow.P4update.Controller.flow_id in
+  P4update.Controller.bump_version w.World.controller ~flow_id:fid;
+  let prepared =
+    P4update.Controller.prepare w.World.controller ~flow_id:fid
+      ~new_path:[ 0; 1; 3; 4 ] ~update_type:P4update.Wire.Dl
+      ~assume_old_path:Topologies.fig2_config_a ()
+  in
+  P4update.Controller.push w.World.controller prepared;
+  {
+    cx_world = w;
+    cx_monitor = monitor;
+    cx_flows = [ flow ];
+    cx_expect = None;
+    cx_horizon_ms = 500.0;
+  }
+
+(* Regression pin for DESIGN §4b fix 1 (the strictly-smaller-label check
+   for inside-segment nodes with a live rule).  Three versions on the
+   Fig. 2 topology:
+
+     v1 = [0;1;2;3;4]   (installed; node 2 forwards 2->3)
+     v2 = [0;1;2;4]     (changes only node 2's rule to 2->4)
+     v3 = [0;1;3;2;4]   (DL; node 3 joins inside a segment draining
+                         into gateway 2)
+
+   The adversarial order delays v2's indication to node 2 past v3's, so
+   2 never commits v2: when 2 (still at v1, forwarding 2->3) proposes
+   its segment for v3, its old-distance label is the v1 one.  Node 3's
+   v1 rule (3->4, distance 1) is NOT strictly farther than the
+   proposer's label, which is exactly the situation where the proposer's
+   still-old forwarding can route back through the joining node: with
+   the check off, 3 commits 3->2 while 2 still forwards 2->3 — a loop.
+   In the default delivery order v2 commits first and nothing goes
+   wrong, which is why random testing missed it (DESIGN §4b). *)
+let build_stale_label () =
+  let w = make_world (Topologies.fig2 ()) in
+  let monitor = Harness.Invariants.create w in
+  let flow =
+    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_a
+  in
+  let fid = flow.P4update.Controller.flow_id in
+  ignore
+    (P4update.Controller.update_flow w.World.controller ~flow_id:fid
+       ~new_path:Topologies.fig2_config_b ~update_type:P4update.Wire.Sl ());
+  Sim.schedule w.World.sim ~delay:0.5 (fun () ->
+      ignore
+        (P4update.Controller.update_flow w.World.controller ~flow_id:fid
+           ~new_path:[ 0; 1; 3; 2; 4 ] ~update_type:P4update.Wire.Dl ()));
+  {
+    cx_world = w;
+    cx_monitor = monitor;
+    cx_flows = [ flow ];
+    cx_expect = None;
+    cx_horizon_ms = 500.0;
+  }
+
+let all =
+  [
+    {
+      sc_name = "fig2a";
+      sc_descr = "Fig. 2a SL update on the 5-node topology (Thm. 1-4, exhaustive)";
+      sc_window_ms = 1.0;
+      sc_toggle = No_toggle;
+      sc_build = build_fig2a;
+    };
+    {
+      sc_name = "six-skip";
+      sc_descr = "6-node skip-ahead: SL U3 overtakes DL U2 (Fig. 4)";
+      sc_window_ms = 0.5;
+      sc_toggle = No_toggle;
+      sc_build = build_six_skip;
+    };
+    {
+      sc_name = "ruleless-gateway";
+      sc_descr = "DESIGN 4b fix 2 pin: inconsistent view, ruleless segment egress";
+      sc_window_ms = 1.0;
+      sc_toggle = Ruleless_gateway;
+      sc_build = build_ruleless_gateway;
+    };
+    {
+      sc_name = "stale-label";
+      sc_descr = "DESIGN 4b fix 1 pin: stale inside-segment label, racing versions";
+      sc_window_ms = 3.0;
+      sc_toggle = Inside_segment;
+      sc_build = build_stale_label;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.sc_name = name) all
+
+(* Flip the scenario's §4b fix off for the duration of [f] — used by the
+   regression tests and the CLI's [--unsafe] mode to demonstrate that the
+   checker finds the violation the fix prevents. *)
+let with_toggle sc ~unsafe f =
+  if not unsafe then f ()
+  else begin
+    let set v =
+      match sc.sc_toggle with
+      | No_toggle -> ()
+      | Inside_segment -> P4update.Verify.set_unsafe_inside_segment_commit v
+      | Ruleless_gateway -> P4update.Switch.set_unsafe_ruleless_gateway v
+    in
+    set true;
+    Fun.protect ~finally:(fun () -> set false) f
+  end

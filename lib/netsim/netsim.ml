@@ -87,6 +87,7 @@ type t = {
   mutable data_fault : (from:int -> to_:int -> Bytes.t -> fault) option;
   mutable control_fault : (dir:ctl_direction -> Bytes.t -> fault) option;
   mutable control_classifier : (Bytes.t -> int option) option;
+  mutable flow_extractor : (Bytes.t -> int option) option;
   mutable observers : (float -> int -> int -> Bytes.t -> unit) list;
   mutable topo_observers : (topo_event -> unit) list;
   node_down : bool array;
@@ -142,6 +143,7 @@ let create ?(config = default_config) sim topo =
     data_fault = None;
     control_fault = None;
     control_classifier = None;
+    flow_extractor = None;
     observers = [];
     topo_observers = [];
     node_down = Array.make n false;
@@ -202,6 +204,22 @@ let clear_data_fault t = t.data_fault <- None
 let set_control_fault t hook = t.control_fault <- Some hook
 let clear_control_fault t = t.control_fault <- None
 let set_control_classifier t f = t.control_classifier <- Some f
+let set_flow_extractor t f = t.flow_extractor <- Some f
+
+(* Delivery tags feed the model checker's choice-point layer; computing
+   them costs a payload hash, so they are only built when a scheduling
+   policy is actually installed.  [node] is the node whose state the
+   delivery mutates (-1 = the controller). *)
+let delivery_tag t ~kind ~node bytes =
+  if not (Sim.chooser_installed t.sim) then None
+  else begin
+    let flow =
+      match t.flow_extractor with
+      | None -> -1
+      | Some f -> ( match f bytes with Some fl -> fl | None -> -1)
+    in
+    Some (Sim.tag ~kind ~node ~flow ~hash:(Hashtbl.hash (Bytes.to_string bytes)))
+  end
 let on_delivery t f = t.observers <- t.observers @ [ f ]
 let on_topology_event t f = t.topo_observers <- t.topo_observers @ [ f ]
 
@@ -320,7 +338,7 @@ let no_fault _ = Deliver
 (* ------------------------------------------------------------------ *)
 
 let deliver_data t ~via ~node ~port bytes delay =
-  Sim.schedule t.sim ~delay (fun () ->
+  Sim.schedule ?tag:(delivery_tag t ~kind:"data" ~node bytes) t.sim ~delay (fun () ->
       (* A packet in flight is lost if the link or the receiver went down
          before it arrived. *)
       if t.node_down.(node) || not (link_is_up t via node) then
@@ -358,7 +376,10 @@ let transmit t ~from ~port bytes =
 
 let resubmit t ~node bytes =
   Obs.Metrics.incr t.stats.h_resubmissions;
-  Sim.schedule t.sim ~delay:t.cfg.resubmit_delay_ms (fun () ->
+  Sim.schedule
+    ?tag:(delivery_tag t ~kind:"resubmit" ~node bytes)
+    t.sim ~delay:t.cfg.resubmit_delay_ms
+    (fun () ->
       if node_is_up t ~node then t.handlers.(node) (Data { port = -1; bytes }))
 
 (* ------------------------------------------------------------------ *)
@@ -397,7 +418,10 @@ let notify_controller t ~from bytes =
     apply_fault t
       ~hook:(control_hook t ~dir:(To_controller from))
       ~deliver:(fun bytes delay ->
-        Sim.schedule t.sim ~delay (fun () ->
+        Sim.schedule
+          ?tag:(delivery_tag t ~kind:"ctl.up" ~node:(-1) bytes)
+          t.sim ~delay
+          (fun () ->
             let service_done = controller_slot t in
             Sim.schedule t.sim ~delay:service_done (fun () ->
                 match t.controller_handler with
@@ -417,7 +441,10 @@ let controller_transmit t ~to_ bytes =
   apply_fault t
     ~hook:(control_hook t ~dir:(To_switch to_))
     ~deliver:(fun bytes delay ->
-      Sim.schedule t.sim ~delay (fun () ->
+      Sim.schedule
+        ?tag:(delivery_tag t ~kind:"ctl.down" ~node:to_ bytes)
+        t.sim ~delay
+        (fun () ->
           if t.node_down.(to_) then
             Obs.Metrics.incr t.stats.h_dropped_by_failure
           else t.handlers.(to_) (From_controller bytes)))

@@ -179,6 +179,13 @@ val metrics : t -> Obs.Metrics.t
     sends land in slot 0. *)
 val set_control_classifier : t -> (Bytes.t -> int option) -> unit
 
+(** [set_flow_extractor t f] installs the function that recovers the flow
+    id a payload belongs to, used to label pending deliveries for the
+    model checker's choice-point layer ({!Dessim.Sim.set_chooser}).
+    Tags are only computed while a chooser is installed, so the default
+    simulation path pays nothing. *)
+val set_flow_extractor : t -> (Bytes.t -> int option) -> unit
+
 (** Control-channel sends recorded for [kind] (both directions). *)
 val control_kind_count : t -> kind:int -> int
 

@@ -158,14 +158,25 @@ let parse_number c =
     c.pos <- c.pos + 1
   done;
   let s = String.sub c.src start (c.pos - start) in
+  let float_or_fail () =
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail c "bad number"
+  in
   if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
-  then Float (float_of_string s)
+  then float_or_fail ()
   else
     match int_of_string_opt s with
     | Some i -> Int i
-    | None -> Float (float_of_string s)
+    | None -> float_or_fail ()
 
-let rec parse_value c =
+(* Nesting bound: a recursive-descent parser otherwise turns adversarial
+   input like "[[[[..." into a stack overflow, which is not a catchable
+   [Parse_error].  512 is far beyond anything the exporters emit. *)
+let max_depth = 512
+
+let rec parse_value c ~depth =
+  if depth > max_depth then fail c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -182,7 +193,7 @@ let rec parse_value c =
         let k = parse_string_body c in
         skip_ws c;
         expect c ':';
-        let v = parse_value c in
+        let v = parse_value c ~depth:(depth + 1) in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -202,7 +213,7 @@ let rec parse_value c =
       List [])
     else
       let rec elems acc =
-        let v = parse_value c in
+        let v = parse_value c ~depth:(depth + 1) in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -225,7 +236,7 @@ let rec parse_value c =
 
 let of_string s =
   let c = { src = s; pos = 0 } in
-  let v = parse_value c in
+  let v = parse_value c ~depth:0 in
   skip_ws c;
   if c.pos <> String.length s then fail c "trailing garbage";
   v

@@ -24,4 +24,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("ez-internals", Test_ez_internals.suite);
       ("obs", Test_obs.suite);
+      ("mc", Test_mc.suite);
     ]

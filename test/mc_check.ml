@@ -1,0 +1,46 @@
+(* @mc alias: exhaustively model-check the bounded scenarios and prove
+   both DESIGN §4b regression pins — the checker must find the historical
+   violation the moment its fix is toggled off.  Exit code 1 on any
+   unexpected verdict.  Runs under `dune build @mc` and `dune runtest`. *)
+
+let failed = ref false
+
+let expect what ok line =
+  print_endline line;
+  if not ok then begin
+    failed := true;
+    Printf.printf "  FAIL: %s\n" what
+  end
+
+let () =
+  let bounds =
+    { Mc.Explore.default_bounds with Mc.Explore.b_max_schedules = 3000 }
+  in
+  (* Safety scenarios: every schedule within the window must verify, and
+     the small ones must exhaust their schedule space. *)
+  List.iter
+    (fun (name, need_exhaustive) ->
+      let sc = Option.get (Mc.Scenario.find name) in
+      let r = Mc.Explore.check ~bounds sc in
+      let ok =
+        match r.Mc.Explore.r_verdict with
+        | Mc.Explore.Verified_exhaustive -> true
+        | Mc.Explore.Verified_bounded -> not need_exhaustive
+        | Mc.Explore.Found _ -> false
+      in
+      expect (name ^ " should verify") ok (Mc.Explore.verdict_line r))
+    [ ("fig2a", true); ("six-skip", true); ("ruleless-gateway", true);
+      ("stale-label", false) ];
+  (* Regression pins: with the fix off, the violation must be found and
+     minimized. *)
+  List.iter
+    (fun name ->
+      let sc = Option.get (Mc.Scenario.find name) in
+      let r = Mc.Explore.check ~bounds ~unsafe:true sc in
+      let ok =
+        match r.Mc.Explore.r_verdict with Mc.Explore.Found _ -> true | _ -> false
+      in
+      expect (name ^ " with its fix OFF should produce a counterexample") ok
+        ("unsafe " ^ Mc.Explore.verdict_line r))
+    [ "ruleless-gateway"; "stale-label" ];
+  if !failed then exit 1

@@ -202,16 +202,10 @@ let prop_runtime_version_monotonicity =
       | Some (src, dst, paths) ->
         let w = Harness.World.make ~seed:sc.sc_seed topo in
         let flow = Harness.World.install_flow w ~src ~dst ~size:100 ~path:(List.hd paths) in
-        let last_seen = Hashtbl.create 16 in
-        let monotone = ref true in
-        Array.iter
-          (fun sw ->
-            Switch.on_commit sw (fun ~flow_id:_ ~version ~time:_ ->
-                let node = Switch.node sw in
-                let prev = Option.value (Hashtbl.find_opt last_seen node) ~default:0 in
-                if version <= prev then monotone := false;
-                Hashtbl.replace last_seen node version))
-          w.switches;
+        (* The shared probes flag any non-monotone commit per (switch,
+           flow); no faults here, so those are the only violations
+           possible. *)
+        let monitor = Harness.Invariants.create w in
         List.iter
           (fun new_path ->
             ignore
@@ -219,7 +213,12 @@ let prop_runtime_version_monotonicity =
                  ?update_type:sc.sc_update_type ()))
           (List.filteri (fun i _ -> i >= 1 && i <= sc.sc_updates) paths);
         let _ = Harness.World.run w in
-        !monotone)
+        match Harness.Invariants.violations monitor with
+        | [] -> true
+        | v :: _ ->
+          QCheck.Test.fail_reportf "%s in %s"
+            (Harness.Invariants.violation_to_string v)
+            (scenario_print sc))
 
 let suite =
   [

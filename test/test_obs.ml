@@ -129,6 +129,82 @@ let test_json_roundtrip () =
   | exception Json.Parse_error _ -> ()
   | _ -> Alcotest.fail "trailing garbage accepted")
 
+(* --- parser robustness (fuzz) --- *)
+
+(* The parser's contract on arbitrary input: return a value or raise
+   [Parse_error] — never stack-overflow, never leak [Failure] from the
+   number conversions, never return on malformed input. *)
+let parses_or_rejects s =
+  match Json.of_string s with
+  | _ -> true
+  | exception Json.Parse_error _ -> true
+
+let fuzz_garbage =
+  QCheck.Test.make ~name:"arbitrary bytes: value or Parse_error" ~count:2000
+    QCheck.(string_gen_of_size (Gen.int_range 0 64) Gen.char)
+    parses_or_rejects
+
+(* Truncations of valid documents must fail cleanly (a prefix of a JSON
+   document is never itself a complete document, except prefixes that end
+   exactly on a value boundary — both outcomes are acceptable; crashing
+   is not). *)
+let fuzz_truncated =
+  let doc =
+    {|{"name":"a\"b\\c","xs":[1,2.5,false,null,{"k":[0.1,"A"]}],"n":-12}|}
+  in
+  QCheck.Test.make ~name:"truncated documents: value or Parse_error" ~count:200
+    QCheck.(int_range 0 (String.length doc))
+    (fun n -> parses_or_rejects (String.sub doc 0 n))
+
+(* Unbalanced deep nesting must raise [Parse_error], not overflow the
+   stack: beyond [max_depth] opens, the parser gives up. *)
+let fuzz_deep_nesting =
+  QCheck.Test.make ~name:"deep nesting rejected, no stack overflow" ~count:20
+    QCheck.(int_range 600 100_000)
+    (fun depth ->
+      let opens = String.concat "" (List.init depth (fun i -> if i mod 2 = 0 then "[" else "{\"k\":")) in
+      match Json.of_string opens with
+      | _ -> false (* unbalanced input must not parse *)
+      | exception Json.Parse_error _ -> true)
+
+let test_depth_limit_boundary () =
+  let nested n = String.make n '[' ^ String.make n ']' in
+  (* Balanced nesting below the bound still parses... *)
+  (match Json.of_string (nested 100) with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "shallow nesting should parse"
+  | exception Json.Parse_error e -> Alcotest.failf "shallow nesting rejected: %s" e);
+  (* ...and beyond it fails with the dedicated error. *)
+  match Json.of_string (nested 1000) with
+  | _ -> Alcotest.fail "over-deep nesting accepted"
+  | exception Json.Parse_error _ -> ()
+
+(* Broken escapes: every way to mangle a string escape must be a clean
+   [Parse_error]. *)
+let test_bad_escapes () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | _ -> Alcotest.failf "accepted %S" s
+      | exception Json.Parse_error _ -> ())
+    [
+      {|"\q"|};        (* unknown escape *)
+      {|"\u12"|};      (* truncated \u *)
+      {|"\u12zz"|};    (* non-hex \u *)
+      {|"\|};          (* escape at EOF *)
+      {|"abc|};        (* unterminated string *)
+      "\"a\n";         (* unterminated with control char *)
+    ]
+
+let fuzz_bad_escape_positions =
+  (* Splice a backslash at every position of a valid string document; the
+     result must parse or cleanly reject. *)
+  let doc = {|"abcdefghij"|} in
+  QCheck.Test.make ~name:"spliced backslashes: value or Parse_error" ~count:100
+    QCheck.(int_range 0 (String.length doc - 1))
+    (fun i ->
+      parses_or_rejects (String.sub doc 0 i ^ "\\" ^ String.sub doc i (String.length doc - i)))
+
 (* --- end-to-end: traced runs --- *)
 
 let fig1_setup =
@@ -248,6 +324,12 @@ let suite =
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    QCheck_alcotest.to_alcotest fuzz_garbage;
+    QCheck_alcotest.to_alcotest fuzz_truncated;
+    QCheck_alcotest.to_alcotest fuzz_deep_nesting;
+    Alcotest.test_case "json depth limit boundary" `Quick test_depth_limit_boundary;
+    Alcotest.test_case "json bad escapes rejected" `Quick test_bad_escapes;
+    QCheck_alcotest.to_alcotest fuzz_bad_escape_positions;
     Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
     Alcotest.test_case "no-sink equivalence" `Quick test_no_sink_equivalence;
     Alcotest.test_case "chrome export well-formed" `Quick test_chrome_export_wellformed;
