@@ -4,19 +4,24 @@
 
    Run with: dune exec bench/main.exe            (full: 30 runs/figure)
              dune exec bench/main.exe -- quick   (smoke: 5 runs/figure)
+             dune exec bench/main.exe -- scale   (scale subsuite -> BENCH_scale.json)
 
    With [--json FILE] every headline number is additionally written to
    FILE as an array of {"name", "unit", "value"} rows, one per metric —
-   the format CI trend dashboards ingest. *)
+   the format CI trend dashboards ingest.  The [scale] subsuite always
+   writes rows (default file BENCH_scale.json). *)
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let quick = Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
+let scale_mode = Array.exists (fun a -> a = "scale") Sys.argv
 
 let json_out =
   let out = ref None in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
     Sys.argv;
-  !out
+  match !out with
+  | None when scale_mode -> Some "BENCH_scale.json"
+  | out -> out
 
 (* (name, unit, value) rows accumulated by every section below. *)
 let json_rows : (string * string * float) list ref = ref []
@@ -135,10 +140,104 @@ let run_bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Scale subsuite: event-kernel heap and many-concurrent-update runs    *)
+(* ------------------------------------------------------------------ *)
+
+(* Hold-model microbenchmark of the flat event heap against the seed's
+   boxed heap ([Event_heap_ref], kept verbatim as the baseline): fill to
+   [hold], then [ops] pop-push cycles with an identical LCG-driven time
+   sequence.  One cycle = one pop + one push, counted as two ops.  This is
+   the acceptance surface for the kernel optimization: both numbers are
+   printed and the ratio recorded. *)
+let heap_hold_bench ~hold ~ops =
+  let payload = () in
+  let lcg = ref 1 in
+  let next_time base =
+    lcg := (!lcg * 1103515245 + 12345) land 0x3FFFFFFF;
+    base +. float_of_int (!lcg land 1023) /. 16.0
+  in
+  let run_flat () =
+    lcg := 1;
+    let h = Dessim.Event_heap.create () in
+    for _ = 1 to hold do
+      Dessim.Event_heap.push h ~time:(next_time 0.0) payload
+    done;
+    let started = Sys.time () in
+    for _ = 1 to ops do
+      match Dessim.Event_heap.pop h with
+      | None -> assert false
+      | Some (t, p) -> Dessim.Event_heap.push h ~time:(next_time t) p
+    done;
+    let dt = Sys.time () -. started in
+    float_of_int (2 * ops) /. dt
+  in
+  let run_ref () =
+    lcg := 1;
+    let h = Dessim.Event_heap_ref.create () in
+    for _ = 1 to hold do
+      Dessim.Event_heap_ref.push h ~time:(next_time 0.0) payload
+    done;
+    let started = Sys.time () in
+    for _ = 1 to ops do
+      match Dessim.Event_heap_ref.pop h with
+      | None -> assert false
+      | Some (t, p) -> Dessim.Event_heap_ref.push h ~time:(next_time t) p
+    done;
+    let dt = Sys.time () -. started in
+    float_of_int (2 * ops) /. dt
+  in
+  (* Interleave to even out cache/GC warmup; keep the best of 3. *)
+  let best f = max (f ()) (max (f ()) (f ())) in
+  let ref_ops = best run_ref in
+  let flat_ops = best run_flat in
+  (flat_ops, ref_ops)
+
+let scale_row topo_name metric unit value =
+  Printf.printf "  %-32s %14.1f %s\n" (Printf.sprintf "%s/%s" topo_name metric) value unit;
+  record (Printf.sprintf "scale/%s/%s" topo_name metric) unit value
+
+let run_scale () =
+  Printf.printf "P4Update scale subsuite (%s mode)\n" (if quick then "quick" else "full");
+  section "Event-kernel heap: flat (current) vs boxed (seed baseline)";
+  let hold = 10_000 in
+  let ops = if quick then 200_000 else 2_000_000 in
+  let flat_ops, ref_ops = heap_hold_bench ~hold ~ops in
+  Printf.printf "  hold %d events, %d pop-push cycles\n" hold ops;
+  Printf.printf "  flat heap   %12.0f ops/s\n" flat_ops;
+  Printf.printf "  boxed heap  %12.0f ops/s\n" ref_ops;
+  Printf.printf "  speedup     %12.2fx %s\n" (flat_ops /. ref_ops)
+    (if flat_ops >= 2.0 *. ref_ops then "(>= 2x target met)" else "(below 2x target!)");
+  record "scale/heap/flat" "ops/s" flat_ops;
+  record "scale/heap/boxed" "ops/s" ref_ops;
+  record "scale/heap/speedup" "x" (flat_ops /. ref_ops);
+  section "Many-concurrent-update workloads (Poisson bursts, churn, invariant probes)";
+  let workload =
+    if quick then
+      { Harness.Scale.default_workload with Harness.Scale.wl_updates = 200; wl_flows = 50 }
+    else Harness.Scale.default_workload
+  in
+  List.iter
+    (fun build ->
+      let topo = build () in
+      let cfg = Harness.Run_config.make ~seed:42 () in
+      let r = Harness.Scale.run ~workload cfg topo in
+      Format.printf "%a@." Harness.Scale.pp r;
+      let name = r.Harness.Scale.sr_topology in
+      scale_row name "events_per_s" "events/s" r.Harness.Scale.sr_events_per_s;
+      scale_row name "updates_per_s" "updates/s" r.Harness.Scale.sr_updates_per_s;
+      scale_row name "prep_per_s" "updates/s" r.Harness.Scale.sr_prep_per_s;
+      scale_row name "completion_p50" "ms" r.Harness.Scale.sr_p50_ms;
+      scale_row name "completion_p99" "ms" r.Harness.Scale.sr_p99_ms;
+      scale_row name "completed" "updates" (float_of_int r.Harness.Scale.sr_updates_completed);
+      scale_row name "violations" "count"
+        (float_of_int (List.length r.Harness.Scale.sr_violations)))
+    [ Topo.Topologies.attmpls; Topo.Topologies.chinanet ]
+
+(* ------------------------------------------------------------------ *)
 (* Figure harness                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let () =
+let run_figures () =
   Printf.printf "P4Update evaluation harness (%s mode, %d runs per figure)\n"
     (if quick then "quick" else "full")
     runs;
@@ -147,11 +246,21 @@ let () =
   let fig2 = Harness.Experiments.fig2 () in
   print_string (Harness.Experiments.render_fig2 fig2);
   Harness.Svg.render_fig2 ~dir:figures_dir fig2;
+  List.iter
+    (fun (r : Harness.Experiments.fig2_result) ->
+      record (Printf.sprintf "fig2/%s/duplicated" r.Harness.Experiments.f2_system)
+        "packets" (float_of_int r.Harness.Experiments.f2_duplicated);
+      record (Printf.sprintf "fig2/%s/lost" r.Harness.Experiments.f2_system)
+        "packets" (float_of_int r.Harness.Experiments.f2_lost))
+    fig2;
 
   section "Fig. 4 - maintain consistency, delay updates? (par. 4.2)";
   let fig4 = Harness.Experiments.fig4 () in
   print_string (Harness.Experiments.render_fig4 fig4);
   Harness.Svg.render_fig4 ~dir:figures_dir fig4;
+  record "fig4/p4update/median" "ms" (Harness.Stats.median fig4.Harness.Experiments.f4_p4update);
+  record "fig4/ez-segway/median" "ms" (Harness.Stats.median fig4.Harness.Experiments.f4_ez);
+  record "fig4/speedup" "x" fig4.Harness.Experiments.f4_speedup;
 
   section "Fig. 7 - total update time (par. 9.2)";
   List.iter
@@ -204,6 +313,9 @@ let () =
   section "Ablation - congestion scheduler: dynamic priorities vs FIFO (par. 7.4)";
   print_string (Harness.Ablation.render_scheduler_ablation ~runs:(max 3 (runs / 3)) ());
 
-  run_bechamel ();
+  run_bechamel ()
+
+let () =
+  if scale_mode then run_scale () else run_figures ();
   (match json_out with Some path -> write_json_rows path | None -> ());
   print_newline ()

@@ -1,11 +1,17 @@
 (* Command-line front end: inspect topologies, run individual update
-   scenarios, and regenerate the paper's figures one at a time.
+   scenarios, regenerate the paper's figures, and stress the plane with
+   the scale engine.
+
+   Every subcommand builds exactly one [Harness.Run_config.t] from its
+   flags and hands it to the library — the CLI owns flag parsing, the
+   config record owns the knobs.
 
    Examples:
      p4update topo --name b4
      p4update single --topo internet2 --system all --runs 10
      p4update multi --topo fat-tree --system p4update
      p4update fig --id 7c
+     p4update scale --topo chinanet --updates 2000
 *)
 
 open Cmdliner
@@ -32,12 +38,24 @@ let topo_conv =
   in
   Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
 
-let topo_arg =
-  Arg.(value & opt topo_conv ("b4", Topo.Topologies.b4)
+let topo_arg ?(default = ("b4", Topo.Topologies.b4)) () =
+  Arg.(value & opt topo_conv default
        & info [ "topo"; "t" ] ~docv:"NAME" ~doc:"Topology to use.")
 
 let runs_arg =
   Arg.(value & opt int 10 & info [ "runs"; "r" ] ~docv:"N" ~doc:"Number of seeded runs.")
+
+let seed_arg ~default =
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"N" ~doc:"Base simulation seed.")
+
+(* The scenario runners historically number their runs 1000, 1001, ... *)
+let scenario_seed_base = 1000
+
+(* One Run_config per invocation: flags override [Run_config.default]. *)
+let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
+    ?reorder_window_ms () =
+  Harness.Run_config.make ~seed ?runs ?iterations ?congestion ?trace_sink
+    ?fault_plan ?reorder_window_ms ()
 
 let system_conv =
   let parse = function
@@ -79,12 +97,28 @@ let topo_cmd =
           e.Topo.Graph.latency_ms e.Topo.Graph.capacity)
       (Topo.Graph.edges g)
   in
-  Cmd.v (Cmd.info "topo" ~doc:"Print a topology.") Term.(const run $ topo_arg)
+  Cmd.v (Cmd.info "topo" ~doc:"Print a topology.") Term.(const run $ topo_arg ())
 
-(* --- single --- *)
+(* --- single / multi --- *)
+
+let summarize_runs cfg setup systems ~time_of =
+  List.iter
+    (fun sys ->
+      let samples =
+        List.filter_map
+          (fun i ->
+            let seed = Harness.Run_config.run_seed cfg i in
+            match time_of setup sys ~seed with
+            | t -> Some t
+            | exception Failure _ -> None)
+          (List.init cfg.Harness.Run_config.runs (fun i -> i))
+      in
+      print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
+    systems
 
 let single_cmd =
-  let run (name, build) system runs =
+  let run (name, build) system seed runs =
+    let cfg = cfg_of ~seed ~runs () in
     let topo = build () in
     let old_path, new_path =
       if name = "fig1" then (Topo.Topologies.fig1_old_path, Topo.Topologies.fig1_new_path)
@@ -97,28 +131,16 @@ let single_cmd =
       { Harness.Scenarios.topo = build; stragglers = true; congestion = false;
         headroom = 1.4; control = None }
     in
-    List.iter
-      (fun sys ->
-        let samples =
-          List.filter_map
-            (fun seed ->
-              match
-                Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed
-              with
-              | t -> Some t
-              | exception Failure _ -> None)
-            (List.init runs (fun i -> 1000 + i))
-        in
-        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
-      (systems_of system)
+    summarize_runs cfg setup (systems_of system) ~time_of:(fun setup sys ~seed ->
+        Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed)
   in
   Cmd.v (Cmd.info "single" ~doc:"Run the single-flow (straggler) scenario.")
-    Term.(const run $ topo_arg $ system_arg $ runs_arg)
-
-(* --- multi --- *)
+    Term.(const run $ topo_arg () $ system_arg $ seed_arg ~default:scenario_seed_base
+          $ runs_arg)
 
 let multi_cmd =
-  let run (name, build) system runs =
+  let run (name, build) system seed runs =
+    let cfg = cfg_of ~seed ~runs () in
     let control =
       if name = "fat-tree" then Some (Netsim.Normal_dist { mean = 5.0; stddev = 2.0 })
       else None
@@ -128,21 +150,12 @@ let multi_cmd =
         headroom = 1.4; control }
     in
     Printf.printf "multi-flow update on %s (congested, near capacity)\n" name;
-    List.iter
-      (fun sys ->
-        let samples =
-          List.filter_map
-            (fun seed ->
-              match Harness.Scenarios.multi_flow_time setup sys ~seed with
-              | t -> Some t
-              | exception Failure _ -> None)
-            (List.init runs (fun i -> 1000 + i))
-        in
-        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
-      (systems_of system)
+    summarize_runs cfg setup (systems_of system)
+      ~time_of:(fun setup sys ~seed -> Harness.Scenarios.multi_flow_time setup sys ~seed)
   in
   Cmd.v (Cmd.info "multi" ~doc:"Run the multi-flow (congestion) scenario.")
-    Term.(const run $ topo_arg $ system_arg $ runs_arg)
+    Term.(const run $ topo_arg () $ system_arg $ seed_arg ~default:scenario_seed_base
+          $ runs_arg)
 
 (* --- fig --- *)
 
@@ -151,24 +164,32 @@ let fig_cmd =
     Arg.(required & opt (some string) None
          & info [ "id" ] ~docv:"ID" ~doc:"Figure id: 2, 4, 7a..7f, 8a, 8b.")
   in
+  let runs_opt_arg =
+    Arg.(value & opt (some int) None
+         & info [ "runs"; "r" ] ~docv:"N"
+             ~doc:"Number of seeded runs (default: the figure's own).")
+  in
   let phases_arg =
     Arg.(value & flag
          & info [ "phases" ]
              ~doc:"For 7a..7f: trace one P4Update run and print the per-update \
                    phase breakdown instead of the CDFs.")
   in
-  let run_figure id runs =
+  let run_figure cfg id =
     match id with
-    | "2" -> print_string (Harness.Experiments.render_fig2 (Harness.Experiments.fig2 ()))
-    | "4" -> print_string (Harness.Experiments.render_fig4 (Harness.Experiments.fig4 ()))
+    | "2" -> print_string (Harness.Experiments.render_fig2 (Harness.Experiments.run_fig2 cfg))
+    | "4" -> print_string (Harness.Experiments.render_fig4 (Harness.Experiments.run_fig4 cfg))
     | "8a" ->
       print_string
         (Harness.Experiments.render_fig8 ~congestion:false
-           (Harness.Experiments.fig8 ~congestion:false ()))
+           (Harness.Experiments.run_fig8 cfg))
     | "8b" ->
+      let cfg =
+        { cfg with Harness.Run_config.congestion = true; iterations = 100 }
+      in
       print_string
         (Harness.Experiments.render_fig8 ~congestion:true
-           (Harness.Experiments.fig8 ~iterations:100 ~congestion:true ()))
+           (Harness.Experiments.run_fig8 cfg))
     | id ->
       (match
          List.find_opt
@@ -176,10 +197,13 @@ let fig_cmd =
            (Harness.Experiments.fig7_scenarios ())
        with
        | Some sc ->
-         print_string (Harness.Experiments.render_fig7 (Harness.Experiments.fig7 ~runs sc))
+         print_string (Harness.Experiments.render_fig7 (Harness.Experiments.run_fig7 cfg sc))
        | None -> Printf.eprintf "unknown figure id %S\n" id; exit 1)
   in
-  let run id runs phases =
+  let run id seed runs phases =
+    (* Figures default to their published sample counts (Run_config.default);
+       an explicit --runs overrides. *)
+    let cfg = cfg_of ~seed ?runs () in
     if phases then
       match
         List.find_opt
@@ -187,16 +211,18 @@ let fig_cmd =
           (Harness.Experiments.fig7_scenarios ())
       with
       | Some sc ->
+        let cfg = { cfg with Harness.Run_config.seed = scenario_seed_base } in
         print_string
           (Harness.Experiments.render_phase_breakdown
-             (Harness.Experiments.phase_breakdown sc Harness.Scenarios.P4u))
+             (Harness.Experiments.run_phase_breakdown cfg sc Harness.Scenarios.P4u))
       | None ->
         Printf.eprintf "--phases needs a Fig. 7 scenario id (7a..7f), got %S\n" id;
         exit 1
-    else run_figure id runs
+    else run_figure cfg id
   in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one evaluation figure.")
-    Term.(const run $ id_arg $ runs_arg $ phases_arg)
+    Term.(const run $ id_arg $ seed_arg ~default:Harness.Run_config.default.seed
+          $ runs_opt_arg $ phases_arg)
 
 (* --- trace --- *)
 
@@ -215,9 +241,6 @@ let trace_cmd =
     Arg.(value & opt (some string) None
          & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also write the raw JSONL event stream.")
   in
-  let seed_arg =
-    Arg.(value & opt int 1000 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
-  in
   let multi_arg =
     Arg.(value & flag
          & info [ "multi" ] ~doc:"Trace the multi-flow (congestion) scenario instead.")
@@ -231,6 +254,7 @@ let trace_cmd =
   let run (name, build) system seed out jsonl multi full =
     let sys = match system with Some s -> s | None -> Harness.Scenarios.P4u in
     let exclude = if full then [] else [ "sim"; "net"; "p4rt" ] in
+    let cfg = cfg_of ~seed ~trace_sink:(Obs.Trace.create ~exclude ()) () in
     let result =
       if multi then begin
         let setup =
@@ -239,7 +263,7 @@ let trace_cmd =
         in
         Printf.printf "tracing multi-flow update on %s (%s, seed %d)\n" name
           (Harness.Scenarios.system_name sys) seed;
-        Harness.Traced.run_multi ~exclude setup sys ~seed
+        Harness.Traced.run_multi_cfg cfg ~exclude setup sys
       end
       else begin
         let topo = build () in
@@ -255,7 +279,7 @@ let trace_cmd =
           (Harness.Scenarios.system_name sys) seed
           (String.concat ";" (List.map string_of_int old_path))
           (String.concat ";" (List.map string_of_int new_path));
-        Harness.Traced.run_single ~exclude setup sys ~old_path ~new_path ~seed
+        Harness.Traced.run_single_cfg cfg ~exclude setup sys ~old_path ~new_path
       end
     in
     write_file out (Obs.Trace.to_chrome ~pretty:true result.Harness.Traced.tr_sink);
@@ -280,8 +304,8 @@ let trace_cmd =
        ~doc:
          "Run one scenario with the tracing sink installed; export a Chrome \
           trace (Perfetto) plus a per-update phase breakdown.")
-    Term.(const run $ topo_arg $ system_arg $ seed_arg $ out_arg $ jsonl_arg $ multi_arg
-          $ full_arg)
+    Term.(const run $ topo_arg () $ system_arg $ seed_arg ~default:scenario_seed_base
+          $ out_arg $ jsonl_arg $ multi_arg $ full_arg)
 
 (* --- chaos --- *)
 
@@ -320,7 +344,9 @@ let chaos_cmd =
                    appended.")
   in
   let run scenario seed runs no_recovery trace_out =
-    let config = { Harness.Chaos.default_config with recovery = not no_recovery } in
+    let fault_plan =
+      { Harness.Run_config.default_faults with fp_recovery = not no_recovery }
+    in
     let scenarios =
       match scenario with Some sc -> [ sc ] | None -> Harness.Chaos.all_scenarios
     in
@@ -336,7 +362,8 @@ let chaos_cmd =
               | None -> None
               | Some _ -> Some (Obs.Trace.create ~exclude:[ "sim"; "net"; "p4rt" ] ())
             in
-            let r = Harness.Chaos.run ~config ?trace_sink ~scenario:sc ~seed () in
+            let cfg = cfg_of ~seed ~fault_plan ?trace_sink () in
+            let r = Harness.Chaos.run_cfg cfg ~scenario:sc in
             (match (trace_out, trace_sink) with
             | Some path, Some sink ->
               let path =
@@ -423,15 +450,19 @@ let mc_cmd =
             (String.concat ", " (List.map (fun s -> s.Mc.Scenario.sc_name) Mc.Scenario.all));
           exit 1)
     in
+    (* The reorder window rides on the config; bounds keep the search
+       knobs.  Scenario worlds pin their own seed (Scenario.default_cfg). *)
+    let cfg =
+      { Mc.Scenario.default_cfg with Harness.Run_config.reorder_window_ms = window }
+    in
     let bounds =
       { Mc.Explore.default_bounds with
-        b_window_ms = window; b_max_depth = depth; b_max_schedules = max_schedules;
-        b_por = not no_por }
+        b_max_depth = depth; b_max_schedules = max_schedules; b_por = not no_por }
     in
     let found = ref false in
     List.iter
       (fun sc ->
-        let r = Mc.Explore.check ~bounds ~unsafe sc in
+        let r = Mc.Explore.check ~bounds ~cfg ~unsafe sc in
         print_endline (Mc.Explore.verdict_line r);
         match r.Mc.Explore.r_verdict with
         | Mc.Explore.Found cex ->
@@ -441,7 +472,7 @@ let mc_cmd =
            | Some path ->
              let sink = Obs.Trace.create ~exclude:[ "sim" ] () in
              Mc.Scenario.with_toggle sc ~unsafe (fun () ->
-                 Mc.Explore.replay sc ~window:r.Mc.Explore.r_window_ms
+                 Mc.Explore.replay ~cfg sc ~window:r.Mc.Explore.r_window_ms
                    cex.Mc.Explore.cex_schedule sink);
              write_file path (Obs.Trace.to_chrome ~pretty:true sink);
              Printf.printf "counterexample replay: %d events -> %s (load at \
@@ -453,7 +484,7 @@ let mc_cmd =
            | Some path ->
              let sink = Obs.Trace.create ~exclude:[ "sim" ] () in
              Mc.Scenario.with_toggle sc ~unsafe (fun () ->
-                 Mc.Explore.replay sc ~window:r.Mc.Explore.r_window_ms [] sink);
+                 Mc.Explore.replay ~cfg sc ~window:r.Mc.Explore.r_window_ms [] sink);
              write_file path (Obs.Trace.to_chrome ~pretty:true sink);
              Printf.printf "default-schedule replay: %d events -> %s\n"
                (List.length (Obs.Trace.events sink)) path))
@@ -472,6 +503,65 @@ let mc_cmd =
     Term.(const run $ scenario_arg $ window_arg $ depth_arg $ max_schedules_arg
           $ no_por_arg $ unsafe_arg $ trace_out_arg)
 
+(* --- scale --- *)
+
+let scale_cmd =
+  let updates_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_updates
+         & info [ "updates"; "u" ] ~docv:"N" ~doc:"Total updates to drive.")
+  in
+  let flows_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_flows
+         & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flow population.")
+  in
+  let arrival_arg =
+    Arg.(value & opt float Harness.Scale.default_workload.Harness.Scale.wl_arrival_mean_ms
+         & info [ "arrival-mean" ] ~docv:"MS" ~doc:"Poisson mean between bursts (ms).")
+  in
+  let burst_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_burst
+         & info [ "burst" ] ~docv:"N" ~doc:"Updates per arrival burst.")
+  in
+  let churn_arg =
+    Arg.(value & opt float Harness.Scale.default_workload.Harness.Scale.wl_churn
+         & info [ "churn" ] ~docv:"P" ~doc:"Per-burst flow churn probability.")
+  in
+  let probe_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_probe_every
+         & info [ "probe-every" ] ~docv:"N"
+             ~doc:"Invariant probe every N bursts (0 disables).")
+  in
+  let run (name, build) seed updates flows arrival_mean burst churn probe_every =
+    let cfg = cfg_of ~seed () in
+    let workload =
+      { Harness.Scale.default_workload with
+        wl_updates = updates; wl_flows = flows; wl_arrival_mean_ms = arrival_mean;
+        wl_burst = burst; wl_churn = churn; wl_probe_every = probe_every }
+    in
+    Printf.printf "scale run on %s: %d updates over %d flows (seed %d)\n" name
+      updates flows seed;
+    let r = Harness.Scale.run ~workload cfg (build ()) in
+    Format.printf "%a@." Harness.Scale.pp r;
+    if r.Harness.Scale.sr_violations <> [] then begin
+      List.iter
+        (fun v ->
+          Printf.printf "  t=%.1fms flow=%d: %s\n" v.Harness.Invariants.v_time
+            v.Harness.Invariants.v_flow v.Harness.Invariants.v_what)
+        r.Harness.Scale.sr_violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Drive a many-concurrent-update workload (Poisson arrival bursts, flow churn, \
+          sampled Thm. 1-4 invariant probes) over a WAN and report completion-time \
+          percentiles and kernel/controller throughput.")
+    Term.(const run
+          $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
+          $ seed_arg ~default:Harness.Run_config.default.seed
+          $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg)
+
 (* --- import --- *)
 
 let import_cmd =
@@ -479,41 +569,29 @@ let import_cmd =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"FILE" ~doc:"Topology Zoo GraphML file.")
   in
-  let run file runs =
+  let run file seed runs =
+    let cfg = cfg_of ~seed ~runs () in
     let name = Filename.remove_extension (Filename.basename file) in
     let topo = Topo.Graphml.to_topology ~name (Topo.Graphml.parse_file file) in
     let g = topo.Topo.Topologies.graph in
-    Printf.printf "%s: %d nodes, %d edges (imported)
-" name (Topo.Graph.node_count g)
+    Printf.printf "%s: %d nodes, %d edges (imported)\n" name (Topo.Graph.node_count g)
       (Topo.Graph.edge_count g);
     let old_path, new_path = Harness.Scenarios.single_flow_paths topo in
-    Printf.printf "single-flow scenario: [%s] -> [%s]
-"
+    Printf.printf "single-flow scenario: [%s] -> [%s]\n"
       (String.concat ";" (List.map string_of_int old_path))
       (String.concat ";" (List.map string_of_int new_path));
     let setup =
       { Harness.Scenarios.topo = (fun () -> topo); stragglers = true; congestion = false;
         headroom = 1.4; control = None }
     in
-    List.iter
-      (fun sys ->
-        let samples =
-          List.filter_map
-            (fun seed ->
-              match
-                Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed
-              with
-              | t -> Some t
-              | exception Failure _ -> None)
-            (List.init runs (fun i -> 1000 + i))
-        in
-        print_endline (Harness.Stats.summary (Harness.Scenarios.system_name sys) samples))
-      Harness.Scenarios.all_systems
+    summarize_runs cfg setup Harness.Scenarios.all_systems
+      ~time_of:(fun setup sys ~seed ->
+        Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed)
   in
   Cmd.v
     (Cmd.info "import"
        ~doc:"Import a Topology Zoo GraphML file and run the single-flow scenario on it.")
-    Term.(const run $ file_arg $ runs_arg)
+    Term.(const run $ file_arg $ seed_arg ~default:scenario_seed_base $ runs_arg)
 
 let () =
   let doc = "P4Update (CoNEXT '21) reproduction toolkit" in
@@ -521,4 +599,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
-            import_cmd ]))
+            scale_cmd; import_cmd ]))

@@ -38,6 +38,17 @@ type recovery = {
   rc_stats : recovery_stats;
 }
 
+(* Traversal state shared across preparations: the topology's controller
+   node (stamped into every UIM as [src_node]) and a per-node
+   neighbor→port index.  Ports are static for a network's lifetime, so
+   the index is built once on first use and reused by every subsequent
+   [prepare]/[prepare_batch] — labelling a path becomes pure hash
+   lookups instead of a linear port-table scan per hop. *)
+type prep_cache = {
+  pc_src_node : int;
+  pc_port_of : (int, int) Hashtbl.t array; (* node -> (neighbor -> port) *)
+}
+
 type t = {
   net : Netsim.t;
   flow_db : (int, flow) Hashtbl.t;
@@ -51,6 +62,7 @@ type t = {
   last_pushed : (int, prepared) Hashtbl.t; (* flow id -> last pushed update *)
   retriggers : (int * int, int) Hashtbl.t; (* flow id, version -> count *)
   retrigger_times : (int * int, float) Hashtbl.t;
+  mutable prep : prep_cache option; (* built lazily on first prepare *)
 }
 
 let sl_threshold = 5
@@ -107,7 +119,38 @@ let bump_version t ~flow_id =
   | Some flow -> flow.version <- flow.version + 1
   | None -> ()
 
-let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?(two_phase = false) () =
+let prep_cache t =
+  match t.prep with
+  | Some c -> c
+  | None ->
+    let g = Netsim.graph t.net in
+    let pc_port_of =
+      Array.init (Topo.Graph.node_count g) (fun node ->
+          let ports = Hashtbl.create 8 in
+          for port = 0 to Netsim.port_count t.net ~node - 1 do
+            match Netsim.neighbor_of_port t.net ~node ~port with
+            | Some neighbor -> Hashtbl.replace ports neighbor port
+            | None -> ()
+          done;
+          ports)
+    in
+    let c =
+      { pc_src_node = (Netsim.topology t.net).Topo.Topologies.controller; pc_port_of }
+    in
+    t.prep <- Some c;
+    c
+
+let cached_port_of cache ~node ~neighbor =
+  match Hashtbl.find_opt cache.pc_port_of.(node) neighbor with
+  | Some port -> port
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Netsim.port_of_neighbor: %d is not adjacent to %d" neighbor node)
+
+(* Core of [prepare], parameterized over the shared cache so a batch
+   builds it once. *)
+let prepare_with t cache ~flow_id ~new_path ?update_type ?assume_old_path
+    ?(two_phase = false) () =
   let flow =
     match find_flow t ~flow_id with
     | Some f -> f
@@ -119,7 +162,7 @@ let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?(two_phase = fal
     | Some ut -> ut
     | None -> choose_type t ~old_path ~new_path ~last_type:flow.last_type
   in
-  let labels = Label.of_path t.net new_path in
+  let labels = Label.of_path_with ~port_of:(cached_port_of cache) new_path in
   let labels, segments =
     match p_type with
     | Wire.Sl -> (labels, None)
@@ -142,11 +185,21 @@ let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?(two_phase = fal
             egress_port = l.egress_port;
             notify_port = l.notify_port;
             role = (l.role lor if two_phase then Wire.role_two_phase else 0);
-            src_node = Netsim.topology t.net |> fun topo -> topo.Topo.Topologies.controller;
+            src_node = cache.pc_src_node;
           } ))
       labels
   in
   { p_flow = flow_id; p_version = version; p_type; p_uims = uims; p_segments = segments }
+
+let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?two_phase () =
+  prepare_with t (prep_cache t) ~flow_id ~new_path ?update_type ?assume_old_path
+    ?two_phase ()
+
+let prepare_batch t requests =
+  let cache = prep_cache t in
+  List.map
+    (fun (flow_id, new_path) -> prepare_with t cache ~flow_id ~new_path ())
+    requests
 
 let reports t = List.rev t.report_log
 
@@ -484,6 +537,7 @@ let create network =
       last_pushed = Hashtbl.create 32;
       retriggers = Hashtbl.create 32;
       retrigger_times = Hashtbl.create 32;
+      prep = None;
     }
   in
   install_handler t;

@@ -113,6 +113,17 @@ val prepare :
   unit ->
   prepared
 
+(** [prepare_batch t requests] prepares one update per [(flow_id,
+    new_path)] request, in order, sharing traversal state across the
+    whole batch: the neighbor→port index and the controller's node id
+    are computed once and reused, so preparing [n] concurrent updates
+    costs [n] labellings plus one index build instead of [n] full
+    topology walks.  Each update's type follows the §7.5 policy.  The
+    index is also kept for later calls (ports are static), which is what
+    makes sustained preparation throughput scale — the scale engine's
+    arrival bursts go through this entry point. *)
+val prepare_batch : t -> (int * int list) list -> prepared list
+
 (** [bump_version t ~flow_id] advances the flow's version without pushing
     anything (so a later prepare yields a yet-higher version). *)
 val bump_version : t -> flow_id:int -> unit

@@ -10,19 +10,17 @@ let distances path =
   let k = List.length path - 1 in
   List.mapi (fun i node -> (node, k - i)) path
 
-let of_path net path =
+let of_path_with ~port_of path =
   if path = [] then invalid_arg "Label.of_path: empty path";
   let k = List.length path - 1 in
   let arr = Array.of_list path in
   List.mapi
     (fun i node ->
       let egress_port =
-        if i = k then Wire.port_local
-        else Netsim.port_of_neighbor net ~node ~neighbor:arr.(i + 1)
+        if i = k then Wire.port_local else port_of ~node ~neighbor:arr.(i + 1)
       in
       let notify_port =
-        if i = 0 then Wire.port_none
-        else Netsim.port_of_neighbor net ~node ~neighbor:arr.(i - 1)
+        if i = 0 then Wire.port_none else port_of ~node ~neighbor:arr.(i - 1)
       in
       let role =
         (if i = k then Wire.role_flow_egress else 0)
@@ -30,5 +28,9 @@ let of_path net path =
       in
       { node; dist_new = k - i; egress_port; notify_port; role })
     path
+
+let of_path net path =
+  of_path_with path ~port_of:(fun ~node ~neighbor ->
+      Netsim.port_of_neighbor net ~node ~neighbor)
 
 let find labels node = List.find_opt (fun l -> l.node = node) labels

@@ -21,4 +21,12 @@ val distances : int list -> (int * int) list
     [Invalid_argument] on an empty path or non-adjacent hops. *)
 val of_path : Netsim.t -> int list -> node_label list
 
+(** [of_path_with ~port_of path] is {!of_path} with port resolution
+    supplied by the caller — the controller's batched preparation passes
+    a prebuilt neighbor→port index so that labelling many paths does not
+    rescan the port tables ({!Netsim.port_of_neighbor} is a linear scan
+    per hop). *)
+val of_path_with :
+  port_of:(node:int -> neighbor:int -> int) -> int list -> node_label list
+
 val find : node_label list -> int -> node_label option

@@ -1,9 +1,16 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events, flat-array layout.
 
     Events are ordered first by time, then by a monotonically increasing
     sequence number, so that two events scheduled for the same instant are
     delivered in scheduling order (stable FIFO tie-breaking).  This is
-    essential for deterministic simulation replays. *)
+    essential for deterministic simulation replays.
+
+    The implementation stores entry fields in parallel flat arrays
+    (structure-of-arrays): ordering comparisons load from an unboxed
+    [float array] and steady-state push/pop allocates nothing, which is
+    what lets the scale engine sustain millions of events per second.
+    Delivery order is byte-identical to the original boxed heap, kept as
+    {!Event_heap_ref} and enforced as a differential-testing oracle. *)
 
 (** Optional metadata attached to an event at push time.  Tags never
     affect ordering; they exist so a scheduling policy (the [lib/mc]

@@ -9,12 +9,16 @@ type candidate = { c_time : float; c_seq : int; c_tag : tag option }
 
 type chooser = now:float -> candidate array -> int
 
+type stats = { st_events : int; st_wall_s : float; st_events_per_s : float }
+
 type t = {
   mutable clock : float;
   heap : (unit -> unit) Event_heap.t;
   random : Random.State.t;
   mutable chooser : chooser option;
   mutable chooser_window : float;
+  mutable events : int;
+  mutable wall_s : float;
 }
 
 let create ?(seed = 0x5eed) () =
@@ -24,6 +28,8 @@ let create ?(seed = 0x5eed) () =
     random = Random.State.make [| seed |];
     chooser = None;
     chooser_window = 0.0;
+    events = 0;
+    wall_s = 0.0;
   }
 
 let now t = t.clock
@@ -56,6 +62,7 @@ let schedule ?tag t ~delay f =
 
 let dispatch t ~time f =
   t.clock <- time;
+  t.events <- t.events + 1;
   (* The "sim" category is excluded by default; enabling it gives a span
      per dispatched event for scheduler-level profiling. *)
   if Obs.Trace.enabled () then
@@ -121,7 +128,18 @@ let run ?until t =
     else if step t then loop (processed + 1)
     else processed
   in
-  loop 0
+  let started = Sys.time () in
+  let processed = loop 0 in
+  t.wall_s <- t.wall_s +. (Sys.time () -. started);
+  processed
+
+let stats t =
+  let per_s = if t.wall_s > 0.0 then float_of_int t.events /. t.wall_s else 0.0 in
+  { st_events = t.events; st_wall_s = t.wall_s; st_events_per_s = per_s }
+
+let reset_stats t =
+  t.events <- 0;
+  t.wall_s <- 0.0
 
 let pending t = Event_heap.size t.heap
 

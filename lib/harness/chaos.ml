@@ -335,6 +335,29 @@ let run ?(config = default_config) ?trace_sink ~scenario ~seed () =
     r_baseline_completion_ms = baseline.r_completion_ms;
   }
 
+(* --- Run_config entry point --- *)
+
+let config_of_plan (p : Run_config.fault_plan) =
+  {
+    flows = p.Run_config.fp_flows;
+    fault_window_ms = p.fp_window_ms;
+    horizon_ms = p.fp_horizon_ms;
+    probe_interval_ms = p.fp_probe_interval_ms;
+    data_fault_prob = p.fp_data_prob;
+    control_fault_prob = p.fp_control_prob;
+    max_element_failures = p.fp_max_element_failures;
+    recovery = p.fp_recovery;
+    watchdog_ms = p.fp_watchdog_ms;
+  }
+
+let run_cfg (cfg : Run_config.t) ~scenario =
+  let config =
+    config_of_plan
+      (Option.value cfg.Run_config.fault_plan ~default:Run_config.default_faults)
+  in
+  run ~config ?trace_sink:cfg.Run_config.trace_sink ~scenario ~seed:cfg.Run_config.seed
+    ()
+
 let report_line r =
   let verdict = if ok r then "ok" else "FAIL" in
   let completion = function

@@ -74,13 +74,22 @@ type report = {
 (** All invariants held and every flow converged. *)
 val ok : report -> bool
 
-(** [run ~scenario ~seed ()] executes the faulty run and its fault-free
-    baseline (identical workload) and merges both into one report.
-    [trace_sink] is installed around the degraded run only (not the
-    baseline); injected faults appear as ["fault.injected"] instants in
-    category ["chaos"].  Tracing never perturbs the schedule, so the
-    report — including [r_trace_hash] — is identical with or without a
-    sink. *)
+(** [run_cfg cfg ~scenario] is the {!Run_config} entry point: the seed,
+    the trace sink and the fault plan (default {!Run_config.default_faults})
+    all come from [cfg].  Executes the faulty run and its fault-free
+    baseline (identical workload) and merges both into one report.  The
+    sink is installed around the degraded run only (not the baseline);
+    injected faults appear as ["fault.injected"] instants in category
+    ["chaos"].  Tracing never perturbs the schedule, so the report —
+    including [r_trace_hash] — is identical with or without a sink. *)
+val run_cfg : Run_config.t -> scenario:scenario -> report
+
+(** Translation of a {!Run_config.fault_plan} into this harness's
+    {!config} (field for field). *)
+val config_of_plan : Run_config.fault_plan -> config
+
+(** Deprecated scattered-argument wrapper around {!run_cfg}; prefer
+    building a {!Run_config.t}.  Kept for existing call sites. *)
 val run :
   ?config:config -> ?trace_sink:Obs.Trace.sink -> scenario:scenario -> seed:int ->
   unit -> report

@@ -221,11 +221,13 @@ let fig4_ez_run ~seed =
   | Some t -> t -. start
   | None -> failwith "fig4: ez-Segway did not complete U3"
 
-let fig4 () =
-  let seeds = List.init Scenarios.runs (fun i -> 100 + i) in
+let fig4_runs ~runs =
+  let seeds = List.init runs (fun i -> 100 + i) in
   let f4_p4update = List.map (fun seed -> fig4_p4u_run ~seed) seeds in
   let f4_ez = List.map (fun seed -> fig4_ez_run ~seed) seeds in
   { f4_p4update; f4_ez; f4_speedup = Stats.mean f4_ez /. Stats.mean f4_p4update }
+
+let fig4 () = fig4_runs ~runs:Scenarios.runs
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7                                                               *)
@@ -561,3 +563,19 @@ let render_fig8 ~congestion rows =
     (if congestion then "  expectation: ratio 0.002-0.02 (50-500x, larger networks win more)\n"
      else "  expectation: ratio around 0.7\n");
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Run_config entry points — the scattered-argument functions above     *)
+(* are kept as wrappers for existing call sites; new code (and the CLI) *)
+(* passes one [Run_config.t].                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig2 (cfg : Run_config.t) = fig2 ~seed:cfg.Run_config.seed ()
+let run_fig4 (cfg : Run_config.t) = fig4_runs ~runs:cfg.Run_config.runs
+let run_fig7 (cfg : Run_config.t) scenario = fig7 ~runs:cfg.Run_config.runs scenario
+
+let run_fig8 (cfg : Run_config.t) =
+  fig8 ~iterations:cfg.Run_config.iterations ~congestion:cfg.Run_config.congestion ()
+
+let run_phase_breakdown (cfg : Run_config.t) scenario system =
+  phase_breakdown ~seed:cfg.Run_config.seed scenario system

@@ -16,7 +16,11 @@ type fig2_result = {
   f2_lost : int;                       (** seqs never delivered at v4 *)
 }
 
-(** [fig2 ()] runs the §4.1 scenario for SL-P4Update and ez-Segway. *)
+(** [run_fig2 cfg] runs the §4.1 scenario for SL-P4Update and ez-Segway
+    with [cfg.seed]. *)
+val run_fig2 : Run_config.t -> fig2_result list
+
+(** Deprecated wrapper around {!run_fig2}. *)
 val fig2 : ?seed:int -> unit -> fig2_result list
 
 (** {2 Fig. 4 — skip-ahead over an ongoing update} *)
@@ -27,6 +31,10 @@ type fig4_result = {
   f4_speedup : float;        (** mean(ez) / mean(p4update) — paper: ≈ 4 *)
 }
 
+(** [run_fig4 cfg] runs [cfg.runs] seeded pairs. *)
+val run_fig4 : Run_config.t -> fig4_result
+
+(** Deprecated wrapper around {!run_fig4} ([Scenarios.runs] pairs). *)
 val fig4 : unit -> fig4_result
 
 (** {2 Fig. 7 — total update time CDFs} *)
@@ -45,7 +53,11 @@ type fig7_result = {
   f7_samples : (Scenarios.system * float list) list;
 }
 
-(** [fig7 scenario] runs all three systems, [Scenarios.runs] seeds each. *)
+(** [run_fig7 cfg scenario] runs all three systems, [cfg.runs] seeds
+    each. *)
+val run_fig7 : Run_config.t -> fig7_scenario -> fig7_result
+
+(** Deprecated wrapper around {!run_fig7}. *)
 val fig7 : ?runs:int -> fig7_scenario -> fig7_result
 
 (** {2 Phase breakdown — where a traced run's completion time goes} *)
@@ -63,6 +75,10 @@ type phase_result = {
     (prep / control-plane flight / data-plane propagation / verification /
     ack).  Baseline systems produce no rows: only P4Update is
     span-instrumented. *)
+val run_phase_breakdown :
+  Run_config.t -> fig7_scenario -> Scenarios.system -> phase_result
+
+(** Deprecated wrapper around {!run_phase_breakdown} (seed 1000). *)
 val phase_breakdown : ?seed:int -> fig7_scenario -> Scenarios.system -> phase_result
 
 val render_phase_breakdown : phase_result -> string
@@ -78,8 +94,12 @@ type fig8_row = {
   f8_ratio : float;    (** p4u / ez — Fig. 8 bar value *)
 }
 
-(** [fig8 ~congestion ()] measures the preparation runtime over
-    [iterations] random updates on the four WANs of Fig. 8. *)
+(** [run_fig8 cfg] measures the preparation runtime over
+    [cfg.iterations] random updates on the four WANs of Fig. 8, in the
+    congestion-aware variant when [cfg.congestion]. *)
+val run_fig8 : Run_config.t -> fig8_row list
+
+(** Deprecated wrapper around {!run_fig8}. *)
 val fig8 : ?iterations:int -> congestion:bool -> unit -> fig8_row list
 
 (** {2 Rendering} *)

@@ -1,0 +1,76 @@
+(* The single run-configuration record shared by every harness entry
+   point (experiments, chaos, traced runs, the model-checking scenarios
+   and the scale engine).  Before this existed each runner grew its own
+   scattering of [?seed] / [?runs] / [?iterations] / [~congestion]
+   optional arguments; a [Run_config.t] carries all of them plus the
+   cross-cutting knobs (trace sink, fault plan, reorder window) so the
+   CLI builds exactly one value per invocation and passes it down.
+
+   This module is deliberately dependency-free within the harness: the
+   fault plan is a structural record translated by [Chaos], not a
+   reference to [Chaos.config], so [Chaos] (which needs [World] and
+   [Invariants]) can depend on it without a cycle. *)
+
+(* Mirrors the chaos harness's knobs; [Chaos.config_of_plan] translates. *)
+type fault_plan = {
+  fp_flows : int;
+  fp_window_ms : float;
+  fp_horizon_ms : float;
+  fp_probe_interval_ms : float;
+  fp_data_prob : float;
+  fp_control_prob : float;
+  fp_max_element_failures : int;
+  fp_recovery : bool;
+  fp_watchdog_ms : float;
+}
+
+(* Values mirror [Chaos.default_config]; a regression test keeps the two
+   in sync through [Chaos.config_of_plan]. *)
+let default_faults =
+  {
+    fp_flows = 3;
+    fp_window_ms = 3000.0;
+    fp_horizon_ms = 120_000.0;
+    fp_probe_interval_ms = 500.0;
+    fp_data_prob = 0.08;
+    fp_control_prob = 0.08;
+    fp_max_element_failures = 2;
+    fp_recovery = true;
+    fp_watchdog_ms = 400.0;
+  }
+
+type t = {
+  seed : int;
+  runs : int;
+  iterations : int;
+  congestion : bool;
+  trace_sink : Obs.Trace.sink option;
+  fault_plan : fault_plan option;
+  reorder_window_ms : float option;
+}
+
+let default =
+  {
+    seed = 1;
+    runs = 30;
+    iterations = 1000;
+    congestion = false;
+    trace_sink = None;
+    fault_plan = None;
+    reorder_window_ms = None;
+  }
+
+let make ?(seed = default.seed) ?(runs = default.runs)
+    ?(iterations = default.iterations) ?(congestion = default.congestion)
+    ?trace_sink ?fault_plan ?reorder_window_ms () =
+  { seed; runs; iterations; congestion; trace_sink; fault_plan; reorder_window_ms }
+
+let with_seed seed cfg = { cfg with seed }
+let with_runs runs cfg = { cfg with runs }
+let with_trace_sink sink cfg = { cfg with trace_sink = Some sink }
+let with_faults plan cfg = { cfg with fault_plan = Some plan }
+
+(* The seed of the [i]th run of a multi-run experiment: run 0 uses the
+   configured seed itself, so single-run and multi-run entry points agree
+   on what "the" seed means. *)
+let run_seed cfg i = cfg.seed + i

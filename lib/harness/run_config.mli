@@ -1,0 +1,64 @@
+(** The single configuration entry point for harness runs.
+
+    Every runner — the figure experiments, the chaos harness, the traced
+    scenario runners, the model-checking scenarios and the scale engine —
+    accepts one [Run_config.t] instead of its own scattering of [?seed] /
+    [?runs] / [?iterations] / [~congestion] optional arguments.  The CLI
+    ([bin/p4update_cli.ml]) builds exactly one value per invocation from
+    the shared command-line flags and passes it to whichever subcommand
+    runs.  Runners read the fields they care about and ignore the rest. *)
+
+(** Stochastic-fault schedule knobs, mirroring the chaos harness's
+    {!Chaos.config} structurally (no dependency — [Chaos] translates via
+    [Chaos.config_of_plan]). *)
+type fault_plan = {
+  fp_flows : int;                (** workload size *)
+  fp_window_ms : float;          (** faults and failures stop after this *)
+  fp_horizon_ms : float;         (** simulation bound for convergence *)
+  fp_probe_interval_ms : float;
+  fp_data_prob : float;          (** per-packet fault probability, data plane *)
+  fp_control_prob : float;       (** per-message fault probability, control *)
+  fp_max_element_failures : int; (** 0–n scheduled link/node failures *)
+  fp_recovery : bool;            (** arm the §11 recovery loop *)
+  fp_watchdog_ms : float;        (** switch watchdog timeout *)
+}
+
+(** Same values as [Chaos.default_config]. *)
+val default_faults : fault_plan
+
+type t = {
+  seed : int;                        (** base seed; see {!run_seed} *)
+  runs : int;                        (** sample count of multi-run experiments *)
+  iterations : int;                  (** inner-loop size (fig8 preparations) *)
+  congestion : bool;                 (** congestion-aware variant (fig8) *)
+  trace_sink : Obs.Trace.sink option;(** install around the run when present *)
+  fault_plan : fault_plan option;    (** inject faults when present (chaos) *)
+  reorder_window_ms : float option;  (** mc chooser window override *)
+}
+
+(** seed 1, 30 runs, 1000 iterations, no congestion, no sink, no faults,
+    per-scenario reorder window. *)
+val default : t
+
+val make :
+  ?seed:int ->
+  ?runs:int ->
+  ?iterations:int ->
+  ?congestion:bool ->
+  ?trace_sink:Obs.Trace.sink ->
+  ?fault_plan:fault_plan ->
+  ?reorder_window_ms:float ->
+  unit ->
+  t
+
+(** Functional updates for the common fields. *)
+
+val with_seed : int -> t -> t
+val with_runs : int -> t -> t
+val with_trace_sink : Obs.Trace.sink -> t -> t
+val with_faults : fault_plan -> t -> t
+
+(** [run_seed cfg i] is the seed of the [i]th run ([i] from 0) of a
+    multi-run experiment: [cfg.seed + i], so run 0 uses the configured
+    seed itself. *)
+val run_seed : t -> int -> int

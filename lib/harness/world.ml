@@ -7,7 +7,22 @@ type t = {
   controller : P4update.Controller.t;
 }
 
-let make ?seed ?config topo =
+type flow_spec = { fs_src : int; fs_dst : int; fs_size : int; fs_path : int list }
+
+let flow ?(size = 100) ~src ~dst ~path () =
+  { fs_src = src; fs_dst = dst; fs_size = size; fs_path = path }
+
+let install_flow w ~src ~dst ~size ~path =
+  let flow = P4update.Controller.register_flow w.controller ~src ~dst ~size ~path in
+  let labels = P4update.Label.of_path w.net path in
+  List.iter
+    (fun (l : P4update.Label.node_label) ->
+      P4update.Switch.install_initial w.switches.(l.node) ~flow_id:flow.flow_id ~version:1
+        ~dist:l.dist_new ~egress_port:l.egress_port ~notify_port:l.notify_port ~size)
+    labels;
+  flow
+
+let make ?seed ?config ?(flows = []) topo =
   let sim = Sim.create ?seed () in
   (* Trace timestamps follow this world's simulated clock (no-op when no
      sink is installed). *)
@@ -26,16 +41,24 @@ let make ?seed ?config topo =
     | Netsim.Node_up node when node >= 0 && node < n ->
       P4update.Switch.restart switches.(node)
     | _ -> ());
-  { sim; net; switches; controller }
-
-let install_flow w ~src ~dst ~size ~path =
-  let flow = P4update.Controller.register_flow w.controller ~src ~dst ~size ~path in
-  let labels = P4update.Label.of_path w.net path in
+  let w = { sim; net; switches; controller } in
   List.iter
-    (fun (l : P4update.Label.node_label) ->
-      P4update.Switch.install_initial w.switches.(l.node) ~flow_id:flow.flow_id ~version:1
-        ~dist:l.dist_new ~egress_port:l.egress_port ~notify_port:l.notify_port ~size)
-    labels;
-  flow
+    (fun fs ->
+      ignore (install_flow w ~src:fs.fs_src ~dst:fs.fs_dst ~size:fs.fs_size ~path:fs.fs_path))
+    flows;
+  w
+
+let find_flow w ~flow_id = P4update.Controller.find_flow w.controller ~flow_id
+
+let flow_of_pair w ~src ~dst =
+  let flow_id =
+    Topo.Traffic.flow_id_of_pair ~src ~dst land (P4update.Wire.flow_space - 1)
+  in
+  find_flow w ~flow_id
+
+let flows w =
+  List.sort
+    (fun a b -> compare a.P4update.Controller.flow_id b.P4update.Controller.flow_id)
+    (P4update.Controller.flows w.controller)
 
 let run ?until w = Sim.run ?until w.sim

@@ -189,9 +189,9 @@ let visited_prune visited ~fp ~sleep ~depth =
     false
   end
 
-let execute ?visited ?stats ?on_choice sc ~window ~por ~max_depth ~max_events ~prefix
-    () =
-  let ctx = sc.Scenario.sc_build () in
+let execute ?visited ?stats ?on_choice ?(cfg = Scenario.default_cfg) sc ~window ~por
+    ~max_depth ~max_events ~prefix () =
+  let ctx = sc.Scenario.sc_build cfg in
   let w = ctx.Scenario.cx_world in
   let sim = w.World.sim in
   let prefix = Array.of_list prefix in
@@ -373,9 +373,11 @@ type result = {
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
-let explore ?(bounds = default_bounds) sc =
+let explore ?(bounds = default_bounds) ?(cfg = Scenario.default_cfg) sc =
   let window =
-    match bounds.b_window_ms with Some w -> w | None -> sc.Scenario.sc_window_ms
+    match bounds.b_window_ms with
+    | Some w -> w
+    | None -> Scenario.window_of cfg sc
   in
   let stats = make_stats () in
   let visited = Hashtbl.create 4096 in
@@ -387,7 +389,7 @@ let explore ?(bounds = default_bounds) sc =
     else begin
       stats.st_schedules <- stats.st_schedules + 1;
       let r =
-        execute ~visited ~stats sc ~window ~por:bounds.b_por
+        execute ~visited ~stats ~cfg sc ~window ~por:bounds.b_por
           ~max_depth:bounds.b_max_depth ~max_events:bounds.b_max_events ~prefix ()
       in
       (match r.ex_stop with
@@ -428,15 +430,15 @@ let explore ?(bounds = default_bounds) sc =
 (* Counterexample minimization (delta debugging over choice indices)    *)
 (* ------------------------------------------------------------------ *)
 
-let still_fails sc ~window ~max_events vec =
+let still_fails ~cfg sc ~window ~max_events vec =
   let r =
-    execute sc ~window ~por:false ~max_depth:max_int ~max_events ~prefix:vec ()
+    execute ~cfg sc ~window ~por:false ~max_depth:max_int ~max_events ~prefix:vec ()
   in
   r.ex_violation <> None
 
 (* Greedily reset choices to the default (index 0) while the violation
    persists, then drop the all-default tail.  Each probe is one replay. *)
-let minimize ?(bounds = default_bounds) sc ~window vec =
+let minimize ?(bounds = default_bounds) ?(cfg = Scenario.default_cfg) sc ~window vec =
   let max_events = bounds.b_max_events in
   let vec = ref (Array.of_list vec) in
   let changed = ref true in
@@ -447,7 +449,7 @@ let minimize ?(bounds = default_bounds) sc ~window vec =
         if v <> 0 then begin
           let candidate = Array.copy !vec in
           candidate.(d) <- 0;
-          if still_fails sc ~window ~max_events (Array.to_list candidate) then begin
+          if still_fails ~cfg sc ~window ~max_events (Array.to_list candidate) then begin
             vec := candidate;
             changed := true
           end
@@ -468,11 +470,11 @@ let minimize ?(bounds = default_bounds) sc ~window vec =
    ["mc.choice"] instant in category ["mc"], on top of the regular
    cross-layer instrumentation, so the counterexample loads into
    Perfetto with the scheduling decisions visible. *)
-let replay ?(bounds = default_bounds) sc ~window vec sink =
+let replay ?(bounds = default_bounds) ?(cfg = Scenario.default_cfg) sc ~window vec sink =
   Obs.Trace.install sink;
   Fun.protect ~finally:Obs.Trace.uninstall (fun () ->
       let r =
-        execute sc ~window ~por:false ~max_depth:max_int
+        execute ~cfg sc ~window ~por:false ~max_depth:max_int
           ~max_events:bounds.b_max_events ~prefix:vec
           ~on_choice:(fun ~depth ~chosen ~alternatives ->
             Obs.Trace.instant ~cat:"mc" "mc.choice"
@@ -495,12 +497,12 @@ let replay ?(bounds = default_bounds) sc ~window vec sink =
 (* One-call check: explore, then minimize any counterexample            *)
 (* ------------------------------------------------------------------ *)
 
-let check ?(bounds = default_bounds) ?(unsafe = false) sc =
+let check ?(bounds = default_bounds) ?(cfg = Scenario.default_cfg) ?(unsafe = false) sc =
   Scenario.with_toggle sc ~unsafe (fun () ->
-      let r = explore ~bounds sc in
+      let r = explore ~bounds ~cfg sc in
       match r.r_verdict with
       | Found cex ->
-        let minimized = minimize ~bounds sc ~window:r.r_window_ms cex.cex_schedule in
+        let minimized = minimize ~bounds ~cfg sc ~window:r.r_window_ms cex.cex_schedule in
         { r with r_verdict = Found { cex with cex_schedule = minimized } }
       | _ -> r)
 

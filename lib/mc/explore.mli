@@ -62,19 +62,24 @@ type result = {
 (** [explore ?bounds sc] runs the DFS and stops at the first violation
     (unminimized) or when the schedule space within the bounds is
     exhausted. *)
-val explore : ?bounds:bounds -> Scenario.t -> result
+val explore : ?bounds:bounds -> ?cfg:Harness.Run_config.t -> Scenario.t -> result
 
 (** [minimize sc ~window schedule] greedily resets choices to the
     default and trims the all-default tail while the violation persists;
     each probe is one deterministic replay (POR off, so explicit
     schedules replay independently of exploration order). *)
-val minimize : ?bounds:bounds -> Scenario.t -> window:float -> int list -> int list
+val minimize :
+  ?bounds:bounds -> ?cfg:Harness.Run_config.t -> Scenario.t -> window:float ->
+  int list -> int list
 
-(** [check ?bounds ?unsafe sc] = {!explore} + {!minimize} on any
+(** [check ?bounds ?cfg ?unsafe sc] = {!explore} + {!minimize} on any
     counterexample, with the scenario's §4b fix toggled off for the
     whole run when [unsafe] (default [false]).  This is the CLI and
-    test entry point. *)
-val check : ?bounds:bounds -> ?unsafe:bool -> Scenario.t -> result
+    test entry point.  [cfg] (default {!Scenario.default_cfg}) supplies
+    the build seed and, when [bounds.b_window_ms] is [None], the
+    reorder-window override ([cfg.reorder_window_ms]). *)
+val check :
+  ?bounds:bounds -> ?cfg:Harness.Run_config.t -> ?unsafe:bool -> Scenario.t -> result
 
 (** [replay sc ~window schedule sink] re-executes one schedule under
     [sink]; every branch decision emits an ["mc.choice"] instant (category
@@ -83,6 +88,7 @@ val check : ?bounds:bounds -> ?unsafe:bool -> Scenario.t -> result
     {!Obs.Trace.to_chrome} for Perfetto. *)
 val replay :
   ?bounds:bounds ->
+  ?cfg:Harness.Run_config.t ->
   Scenario.t ->
   window:float ->
   int list ->

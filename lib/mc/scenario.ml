@@ -30,8 +30,18 @@ type t = {
   sc_window_ms : float; (* default reorder window *)
   sc_toggle : unsafe_toggle;
       (* which DESIGN §4b fix [--unsafe] disables for this scenario *)
-  sc_build : unit -> ctx;
+  sc_build : Harness.Run_config.t -> ctx;
 }
+
+(* The canonical configuration of the checker's default path: seed 7
+   (pinned by the fingerprint regression tests) and the per-scenario
+   reorder window. *)
+let default_cfg = Harness.Run_config.make ~seed:7 ()
+
+(* Reorder window for a run: an explicit [reorder_window_ms] in the
+   config beats the scenario's default. *)
+let window_of (cfg : Harness.Run_config.t) sc =
+  Option.value cfg.Harness.Run_config.reorder_window_ms ~default:sc.sc_window_ms
 
 let mc_config =
   {
@@ -55,19 +65,20 @@ let install_flow_extractor net =
           | Some d -> Some d.P4update.Wire.d_flow_id
           | None -> None)))
 
-let make_world topo =
-  let w = World.make ~seed:7 ~config:mc_config topo in
+let make_world ?flows (cfg : Harness.Run_config.t) topo =
+  let w = World.make ~seed:cfg.Harness.Run_config.seed ~config:mc_config ?flows topo in
   install_flow_extractor w.World.net;
   w
 
 (* Fig. 2a: the paper's running example — one SL update moving the flow
    from [0;1;2;3;4] to [0;1;2;4] on the 5-node Fig. 2 topology. *)
-let build_fig2a () =
-  let w = make_world (Topologies.fig2 ()) in
-  let monitor = Harness.Invariants.create w in
-  let flow =
-    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_a
+let build_fig2a cfg =
+  let w =
+    make_world cfg (Topologies.fig2 ())
+      ~flows:[ World.flow ~src:0 ~dst:4 ~path:Topologies.fig2_config_a () ]
   in
+  let monitor = Harness.Invariants.create w in
+  let flow = Option.get (World.flow_of_pair w ~src:0 ~dst:4) in
   ignore
     (P4update.Controller.update_flow w.World.controller
        ~flow_id:flow.P4update.Controller.flow_id ~new_path:Topologies.fig2_config_b
@@ -85,11 +96,14 @@ let build_fig2a () =
    still converge to U3's path. *)
 let six_skip_gap_ms = 2.0
 
-let build_six_skip () =
-  let w = make_world (Topologies.six_node ()) in
-  let monitor = Harness.Invariants.create w in
+let build_six_skip cfg =
   let v1 = [ 0; 2; 3; 5 ] and u2 = [ 0; 1; 3; 2; 4; 5 ] and u3 = [ 0; 2; 4; 5 ] in
-  let flow = World.install_flow w ~src:0 ~dst:5 ~size:100 ~path:v1 in
+  let w =
+    make_world cfg (Topologies.six_node ())
+      ~flows:[ World.flow ~src:0 ~dst:5 ~path:v1 () ]
+  in
+  let monitor = Harness.Invariants.create w in
+  let flow = Option.get (World.flow_of_pair w ~src:0 ~dst:5) in
   let fid = flow.P4update.Controller.flow_id in
   ignore
     (P4update.Controller.update_flow w.World.controller ~flow_id:fid ~new_path:u2
@@ -118,12 +132,13 @@ let build_six_skip () =
    label 0: with the guard off ([--unsafe]), node 1 joins and forwards
    into empty node 3 — a blackhole at a healthy node.  With the guard,
    3 never proposes until it holds a rule, and every schedule is safe. *)
-let build_ruleless_gateway () =
-  let w = make_world (Topologies.fig2 ()) in
-  let monitor = Harness.Invariants.create w in
-  let flow =
-    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_b
+let build_ruleless_gateway cfg =
+  let w =
+    make_world cfg (Topologies.fig2 ())
+      ~flows:[ World.flow ~src:0 ~dst:4 ~path:Topologies.fig2_config_b () ]
   in
+  let monitor = Harness.Invariants.create w in
+  let flow = Option.get (World.flow_of_pair w ~src:0 ~dst:4) in
   let fid = flow.P4update.Controller.flow_id in
   P4update.Controller.bump_version w.World.controller ~flow_id:fid;
   let prepared =
@@ -158,12 +173,13 @@ let build_ruleless_gateway () =
    the check off, 3 commits 3->2 while 2 still forwards 2->3 — a loop.
    In the default delivery order v2 commits first and nothing goes
    wrong, which is why random testing missed it (DESIGN §4b). *)
-let build_stale_label () =
-  let w = make_world (Topologies.fig2 ()) in
-  let monitor = Harness.Invariants.create w in
-  let flow =
-    World.install_flow w ~src:0 ~dst:4 ~size:100 ~path:Topologies.fig2_config_a
+let build_stale_label cfg =
+  let w =
+    make_world cfg (Topologies.fig2 ())
+      ~flows:[ World.flow ~src:0 ~dst:4 ~path:Topologies.fig2_config_a () ]
   in
+  let monitor = Harness.Invariants.create w in
+  let flow = Option.get (World.flow_of_pair w ~src:0 ~dst:4) in
   let fid = flow.P4update.Controller.flow_id in
   ignore
     (P4update.Controller.update_flow w.World.controller ~flow_id:fid

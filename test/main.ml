@@ -25,4 +25,5 @@ let () =
       ("ez-internals", Test_ez_internals.suite);
       ("obs", Test_obs.suite);
       ("mc", Test_mc.suite);
+      ("scale", Test_scale.suite);
     ]

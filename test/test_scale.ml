@@ -1,0 +1,248 @@
+(* Scale-engine and event-kernel tests.
+
+   - Differential qcheck properties: the flat structure-of-arrays
+     [Event_heap] against the seed's boxed heap, kept verbatim as
+     [Event_heap_ref]: same pop order on random schedules (including
+     exact same-instant ties), same [fold] candidate sets, same
+     [remove_seq] behavior.
+   - Determinism pins: the chaos delivery hashes, the mc final-state
+     fingerprints on the default schedule and a trace JSONL digest are
+     pinned to literals, so any change to event ordering — however
+     subtle — fails here rather than silently shifting every figure.
+   - The scale engine itself: completes, is deterministic, and the
+     sampled Thm. 1-4 probes see no violations.
+   - Run_config glue: the default fault plan translates to exactly
+     [Chaos.default_config]. *)
+
+module Heap = Dessim.Event_heap
+module Heap_ref = Dessim.Event_heap_ref
+
+(* --- differential heap properties ---------------------------------- *)
+
+(* A schedule mixing pushes (with deliberately colliding times drawn
+   from a small grid), pops and occasional tag attachments. *)
+let op_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 400)
+      (pair (int_bound 2) (pair (int_bound 15) (int_bound 7))))
+
+let tag_of_int i =
+  { Heap.tag_kind = "k" ^ string_of_int (i mod 3); tag_node = i; tag_flow = i * 7;
+    tag_hash = i * 31 }
+
+(* Drive both heaps through the same schedule; compare every observable. *)
+let run_schedule ops =
+  let h = Heap.create () and r = Heap_ref.create () in
+  let payload = ref 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iter
+    (fun (op, (t, tagged)) ->
+      match op with
+      | 0 | 1 ->
+        (* push; time grid of 16 values forces same-instant ties *)
+        let time = float_of_int t /. 2.0 in
+        let p = !payload in
+        incr payload;
+        let tag = if tagged = 0 then Some (tag_of_int p) else None in
+        Heap.push ?tag h ~time p;
+        Heap_ref.push ?tag r ~time p
+      | _ -> (
+        match (Heap.pop h, Heap_ref.pop r) with
+        | None, None -> ()
+        | Some (t1, p1), Some (t2, p2) -> check (t1 = t2 && p1 = p2)
+        | _ -> check false))
+    ops;
+  (* same sizes, same candidate sets under fold, same drain order *)
+  check (Heap.size h = Heap_ref.size r);
+  let entry ~time ~seq ~tag = (seq, time, tag) in
+  let flat_set =
+    List.sort compare
+      (Heap.fold h ~init:[] ~f:(fun acc ~time ~seq ~tag -> entry ~time ~seq ~tag :: acc))
+  and ref_set =
+    List.sort compare
+      (Heap_ref.fold r ~init:[] ~f:(fun acc ~time ~seq ~tag -> entry ~time ~seq ~tag :: acc))
+  in
+  check (flat_set = ref_set);
+  let rec drain () =
+    match (Heap.pop h, Heap_ref.pop r) with
+    | None, None -> ()
+    | Some (t1, p1), Some (t2, p2) ->
+      check (t1 = t2 && p1 = p2);
+      drain ()
+    | _ -> check false
+  in
+  drain ();
+  !ok
+
+let prop_same_pop_order =
+  QCheck.Test.make ~name:"flat heap = boxed heap on random schedules" ~count:300 op_gen
+    run_schedule
+
+let prop_remove_seq =
+  QCheck.Test.make ~name:"flat heap remove_seq matches boxed heap" ~count:300
+    QCheck.(pair op_gen (int_bound 1000))
+    (fun (ops, victim) ->
+      let h = Heap.create () and r = Heap_ref.create () in
+      let payload = ref 0 in
+      List.iter
+        (fun (op, (t, tagged)) ->
+          if op <= 1 then begin
+            let time = float_of_int t /. 2.0 in
+            let p = !payload in
+            incr payload;
+            let tag = if tagged = 0 then Some (tag_of_int p) else None in
+            Heap.push ?tag h ~time p;
+            Heap_ref.push ?tag r ~time p
+          end
+          else begin
+            ignore (Heap.pop h);
+            ignore (Heap_ref.pop r)
+          end)
+        ops;
+      (* both heaps allocate seqs identically (same push count), so the
+         same victim seq must exist in both or in neither *)
+      let a = Heap.remove_seq h victim and b = Heap_ref.remove_seq r victim in
+      if a <> b then false
+      else begin
+        let rec drain () =
+          match (Heap.pop h, Heap_ref.pop r) with
+          | None, None -> true
+          | Some (t1, p1), Some (t2, p2) -> t1 = t2 && p1 = p2 && drain ()
+          | _ -> false
+        in
+        drain ()
+      end)
+
+(* --- determinism pins ----------------------------------------------- *)
+
+(* Chaos delivery hashes: scenario x seed -> r_trace_hash.  These came
+   from the seed heap and must survive any kernel change byte-for-byte. *)
+let chaos_pins =
+  [
+    ("fig1", 1, 0x0c4b5288); ("fig1", 2, 0x1a4f97b3); ("fig1", 7, 0x04cfedd3);
+    ("b4", 1, 0x3d79d541); ("b4", 2, 0x306bcd89); ("b4", 7, 0x331496eb);
+    ("fat-tree", 1, 0x36073a28); ("fat-tree", 2, 0x1ed378c3); ("fat-tree", 7, 0x14937a0a);
+  ]
+
+let test_chaos_pins () =
+  List.iter
+    (fun (name, seed, expected) ->
+      let scenario = Option.get (Harness.Chaos.scenario_of_string name) in
+      let cfg = Harness.Run_config.make ~seed () in
+      let r = Harness.Chaos.run_cfg cfg ~scenario in
+      Alcotest.(check int)
+        (Printf.sprintf "chaos %s seed %d hash" name seed)
+        expected r.Harness.Chaos.r_trace_hash)
+    chaos_pins
+
+(* Mc final-state fingerprints on the default (no-reorder) schedule. *)
+let mc_pins =
+  [
+    ("fig2a", 0x212021df8b07cf9a); ("six-skip", 0x69869229d7e99c20);
+    ("ruleless-gateway", 0x6233af09a1e0bd8e); ("stale-label", 0x1d9f715d38e8c013);
+  ]
+
+let mc_fingerprint sc =
+  let ctx = sc.Mc.Scenario.sc_build Mc.Scenario.default_cfg in
+  let w = ctx.Mc.Scenario.cx_world in
+  ignore (Harness.World.run ~until:ctx.Mc.Scenario.cx_horizon_ms w);
+  let sw =
+    Array.fold_left
+      (fun acc s -> (acc * 131) lxor P4update.Switch.fingerprint s)
+      17 w.Harness.World.switches
+  in
+  (sw * 8191) lxor P4update.Controller.fingerprint w.Harness.World.controller
+
+let test_mc_pins () =
+  List.iter
+    (fun (name, expected) ->
+      let sc = Option.get (Mc.Scenario.find name) in
+      Alcotest.(check int)
+        (Printf.sprintf "mc %s fingerprint" name)
+        expected (mc_fingerprint sc))
+    mc_pins
+
+(* Trace digest: the JSONL stream of one traced single-flow run is a
+   deterministic function of the seed; djb2 keeps the pin readable. *)
+let djb2 s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let test_trace_digest () =
+  let setup =
+    { Harness.Scenarios.topo = Topo.Topologies.fig1; stragglers = false;
+      congestion = false; headroom = 1.4; control = None }
+  in
+  let cfg = Harness.Run_config.make ~seed:2024 () in
+  let r =
+    Harness.Traced.run_single_cfg cfg setup Harness.Scenarios.P4u
+      ~old_path:Topo.Topologies.fig1_old_path ~new_path:Topo.Topologies.fig1_new_path
+  in
+  Alcotest.(check int) "trace JSONL digest" 0x2aabd754
+    (djb2 (Obs.Trace.to_jsonl r.Harness.Traced.tr_sink));
+  Alcotest.(check (float 0.001)) "completion" 204.5 r.Harness.Traced.tr_completion_ms
+
+(* --- the scale engine ----------------------------------------------- *)
+
+let small_workload =
+  { Harness.Scale.default_workload with
+    Harness.Scale.wl_updates = 120; wl_flows = 30; wl_probe_every = 10 }
+
+let test_scale_runs () =
+  let cfg = Harness.Run_config.make ~seed:11 () in
+  let r = Harness.Scale.run ~workload:small_workload cfg (Topo.Topologies.attmpls ()) in
+  Alcotest.(check int) "all updates pushed" 120 r.Harness.Scale.sr_updates_pushed;
+  Alcotest.(check bool) "most updates completed (rest overtaken by skip-ahead)" true
+    (r.Harness.Scale.sr_updates_completed > 85);
+  Alcotest.(check int) "no invariant violations" 0
+    (List.length r.Harness.Scale.sr_violations);
+  Alcotest.(check bool) "probes ran" true (r.Harness.Scale.sr_probes > 0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.Harness.Scale.sr_p50_ms <= r.Harness.Scale.sr_p99_ms)
+
+let test_scale_deterministic () =
+  let cfg = Harness.Run_config.make ~seed:11 () in
+  let run () = Harness.Scale.run ~workload:small_workload cfg (Topo.Topologies.chinanet ()) in
+  let a = run () and b = run () in
+  Alcotest.(check int) "completed" a.Harness.Scale.sr_updates_completed
+    b.Harness.Scale.sr_updates_completed;
+  Alcotest.(check int) "events" a.Harness.Scale.sr_events b.Harness.Scale.sr_events;
+  Alcotest.(check (float 0.0)) "sim time" a.Harness.Scale.sr_sim_ms
+    b.Harness.Scale.sr_sim_ms;
+  Alcotest.(check (float 0.0)) "p99" a.Harness.Scale.sr_p99_ms b.Harness.Scale.sr_p99_ms
+
+(* --- Run_config glue ------------------------------------------------- *)
+
+let test_fault_plan_sync () =
+  let c = Harness.Chaos.config_of_plan Harness.Run_config.default_faults in
+  Alcotest.(check bool) "default fault plan = Chaos.default_config" true
+    (c = Harness.Chaos.default_config)
+
+let test_world_flows () =
+  let topo = Topo.Topologies.b4 () in
+  let path = Option.get (Topo.Graph.shortest_path topo.Topo.Topologies.graph ~src:0 ~dst:9) in
+  let w =
+    Harness.World.make ~seed:3 ~flows:[ Harness.World.flow ~src:0 ~dst:9 ~path () ] topo
+  in
+  match Harness.World.flow_of_pair w ~src:0 ~dst:9 with
+  | None -> Alcotest.fail "installed flow not found"
+  | Some f ->
+    Alcotest.(check (list int)) "path installed" path f.P4update.Controller.path;
+    Alcotest.(check int) "one flow" 1 (List.length (Harness.World.flows w));
+    Alcotest.(check bool) "find_flow agrees" true
+      (Harness.World.find_flow w ~flow_id:f.P4update.Controller.flow_id = Some f)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_same_pop_order;
+    QCheck_alcotest.to_alcotest prop_remove_seq;
+    Alcotest.test_case "chaos delivery hashes pinned" `Slow test_chaos_pins;
+    Alcotest.test_case "mc fingerprints pinned" `Quick test_mc_pins;
+    Alcotest.test_case "trace digest pinned" `Quick test_trace_digest;
+    Alcotest.test_case "scale run completes clean" `Quick test_scale_runs;
+    Alcotest.test_case "scale run is deterministic" `Quick test_scale_deterministic;
+    Alcotest.test_case "fault plan mirrors chaos defaults" `Quick test_fault_plan_sync;
+    Alcotest.test_case "world builds with declared flows" `Quick test_world_flows;
+  ]
