@@ -5,14 +5,17 @@
    Run with: dune exec bench/main.exe            (full: 30 runs/figure)
              dune exec bench/main.exe -- quick   (smoke: 5 runs/figure)
              dune exec bench/main.exe -- scale   (scale subsuite -> BENCH_scale.json)
+             dune exec bench/main.exe -- traffic (traffic audit -> BENCH_traffic.json)
 
    With [--json FILE] every headline number is additionally written to
    FILE as an array of {"name", "unit", "value"} rows, one per metric —
-   the format CI trend dashboards ingest.  The [scale] subsuite always
-   writes rows (default file BENCH_scale.json). *)
+   the format CI trend dashboards ingest.  The [scale] and [traffic]
+   subsuites always write rows (default files BENCH_scale.json and
+   BENCH_traffic.json). *)
 
 let quick = Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
 let scale_mode = Array.exists (fun a -> a = "scale") Sys.argv
+let traffic_mode = Array.exists (fun a -> a = "traffic") Sys.argv
 
 let json_out =
   let out = ref None in
@@ -21,6 +24,7 @@ let json_out =
     Sys.argv;
   match !out with
   | None when scale_mode -> Some "BENCH_scale.json"
+  | None when traffic_mode -> Some "BENCH_traffic.json"
   | out -> out
 
 (* (name, unit, value) rows accumulated by every section below. *)
@@ -234,6 +238,51 @@ let run_scale () =
     [ Topo.Topologies.attmpls; Topo.Topologies.chinanet ]
 
 (* ------------------------------------------------------------------ *)
+(* Traffic subsuite: probe packets racing update bursts, per-packet     *)
+(* consistency audit (DESIGN par. 10)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_traffic () =
+  Printf.printf "P4Update traffic-audit subsuite (%s mode)\n" (if quick then "quick" else "full");
+  section "Probe traffic racing scale update bursts (per-packet audit)";
+  let scale_workload =
+    if quick then
+      { Harness.Scale.default_workload with Harness.Scale.wl_updates = 200; wl_flows = 50 }
+    else Harness.Scale.default_workload
+  in
+  let workload =
+    if quick then
+      { Harness.Traffic.default_workload with Harness.Traffic.tw_stop_ms = 300.0 }
+    else Harness.Traffic.default_workload
+  in
+  List.iter
+    (fun build ->
+      let topo = build () in
+      let cfg = Harness.Run_config.make ~seed:42 () in
+      let sr, ts = Harness.Traffic.run_scale ~scale_workload ~workload cfg topo in
+      Format.printf "%a@.%a@." Harness.Scale.pp sr Harness.Traffic.pp ts;
+      let name = sr.Harness.Scale.sr_topology in
+      let row metric unit value =
+        Printf.printf "  %-32s %14.1f %s\n"
+          (Printf.sprintf "%s/%s" name metric) value unit;
+        record (Printf.sprintf "traffic/%s/%s" name metric) unit value
+      in
+      row "pkts_per_s" "pkts/s" ts.Harness.Traffic.ts_pkts_per_s;
+      row "injected" "pkts" (float_of_int ts.Harness.Traffic.ts_injected);
+      row "delivery_rate" "ratio"
+        (if ts.Harness.Traffic.ts_injected = 0 then 0.0
+         else
+           float_of_int ts.Harness.Traffic.ts_delivered
+           /. float_of_int ts.Harness.Traffic.ts_injected);
+      row "latency_p50" "ms" ts.Harness.Traffic.ts_p50_ms;
+      row "latency_p99" "ms" ts.Harness.Traffic.ts_p99_ms;
+      row "reordered" "pkts" (float_of_int ts.Harness.Traffic.ts_reordered);
+      row "violations" "count" (float_of_int (Harness.Traffic.violations ts));
+      row "updates_completed" "updates"
+        (float_of_int sr.Harness.Scale.sr_updates_completed))
+    [ Topo.Topologies.attmpls; Topo.Topologies.chinanet ]
+
+(* ------------------------------------------------------------------ *)
 (* Figure harness                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -316,6 +365,8 @@ let run_figures () =
   run_bechamel ()
 
 let () =
-  if scale_mode then run_scale () else run_figures ();
+  if scale_mode then run_scale ()
+  else if traffic_mode then run_traffic ()
+  else run_figures ();
   (match json_out with Some path -> write_json_rows path | None -> ());
   print_newline ()

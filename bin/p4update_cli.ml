@@ -562,6 +562,61 @@ let scale_cmd =
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg)
 
+(* --- traffic --- *)
+
+let traffic_cmd =
+  let updates_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_updates
+         & info [ "updates"; "u" ] ~docv:"N" ~doc:"Total updates to drive.")
+  in
+  let flows_arg =
+    Arg.(value & opt int Harness.Scale.default_workload.Harness.Scale.wl_flows
+         & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flow population.")
+  in
+  let gap_arg =
+    Arg.(value & opt float Harness.Traffic.default_workload.Harness.Traffic.tw_mean_gap_ms
+         & info [ "gap-mean" ] ~docv:"MS" ~doc:"Per-flow mean inter-packet gap (ms).")
+  in
+  let constant_arg =
+    Arg.(value & flag
+         & info [ "constant-rate" ]
+             ~doc:"Constant inter-packet gaps instead of Poisson.")
+  in
+  let stop_arg =
+    Arg.(value & opt float Harness.Traffic.default_workload.Harness.Traffic.tw_stop_ms
+         & info [ "stop" ] ~docv:"MS" ~doc:"Stop injecting at this simulated time.")
+  in
+  let run (name, build) seed updates flows gap_mean constant stop =
+    let cfg = cfg_of ~seed () in
+    let scale_workload =
+      { Harness.Scale.default_workload with wl_updates = updates; wl_flows = flows }
+    in
+    let workload =
+      { Harness.Traffic.default_workload with
+        tw_mean_gap_ms = gap_mean; tw_poisson = not constant; tw_stop_ms = stop }
+    in
+    Printf.printf
+      "traffic run on %s: probes racing %d updates over %d flows (seed %d)\n" name
+      updates flows seed;
+    let sr, ts = Harness.Traffic.run_scale ~scale_workload ~workload cfg (build ()) in
+    Format.printf "%a@.%a@." Harness.Scale.pp sr Harness.Traffic.pp ts;
+    if Harness.Traffic.violations ts > 0 || sr.Harness.Scale.sr_violations <> [] then begin
+      Printf.printf "per-packet or structural consistency violations detected\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Race sustained per-flow probe traffic against the scale engine's update \
+          bursts and audit every packet's trajectory for per-packet consistency \
+          (old/new path, mixed, loops, blackholes), reporting delivery rate, latency \
+          percentiles and a deterministic outcome digest.")
+    Term.(const run
+          $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
+          $ seed_arg ~default:Harness.Run_config.default.seed
+          $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg)
+
 (* --- import --- *)
 
 let import_cmd =
@@ -599,4 +654,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
-            scale_cmd; import_cmd ]))
+            scale_cmd; traffic_cmd; import_cmd ]))

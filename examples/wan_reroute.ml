@@ -26,7 +26,7 @@ let run update_type =
   let rec generator () =
     if Dessim.Sim.now world.sim < 1_500.0 then begin
       Switch.inject_data world.switches.(src)
-        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = 64; origin = src; dst; tag = 0 };
+        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = 64; origin = src; dst; tag = 0; d_ts = 0 };
       incr sent;
       Dessim.Sim.schedule world.sim ~delay:4.0 generator
     end

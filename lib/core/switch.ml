@@ -55,6 +55,7 @@ type t = {
   mutable pipe : Pipeline.t;
   stats : stats;
   mutable commit_hooks : (flow_id:int -> version:int -> time:float -> unit) list;
+  mutable deliver_hooks : (time:float -> Wire.data -> unit) list;
   pending : (int, pending_commit) Hashtbl.t; (* flow id -> staged commit *)
   wait_counts : (int, int) Hashtbl.t; (* flow id -> resubmissions so far *)
   cong_counts : (int, int) Hashtbl.t; (* flow id -> congestion defers so far *)
@@ -84,6 +85,7 @@ let enable_consecutive_dl t = t.consecutive_dl <- true
 let uib t = t.uib
 let pipeline t = t.pipe
 let on_commit t f = t.commit_hooks <- t.commit_hooks @ [ f ]
+let on_deliver t f = t.deliver_hooks <- t.deliver_hooks @ [ f ]
 
 (* ------------------------------------------------------------------ *)
 (* Message construction                                                 *)
@@ -394,6 +396,14 @@ let handle_data t ctx (d : Wire.data) =
   end
   else if port = Wire.port_local then begin
     t.stats.delivered <- t.stats.delivered + 1;
+    (* Local delivery bypasses [Netsim.transmit], so [Netsim.on_delivery]
+       observers never see it; the egress hook is the only place a live
+       auditor learns a packet left the network. *)
+    (match t.deliver_hooks with
+     | [] -> ()
+     | hooks ->
+       let time = Sim.now (Netsim.sim t.net) in
+       List.iter (fun f -> f ~time d) hooks);
     Pipeline.mark_to_drop ctx
   end
   else if d.ttl <= 1 then begin
@@ -769,6 +779,7 @@ let create net ~node =
           congestion_defers = 0;
         };
       commit_hooks = [];
+      deliver_hooks = [];
       pending = Hashtbl.create 16;
       wait_counts = Hashtbl.create 16;
       cong_counts = Hashtbl.create 16;
@@ -796,7 +807,9 @@ let create net ~node =
   done;
   Netsim.attach net ~node (fun event ->
       match event with
-      | Netsim.Data { port; bytes } -> run_pipeline t ~port bytes
+      | Netsim.Data { port; bytes } ->
+        let port = if port = Netsim.port_host then host_port else port in
+        run_pipeline t ~port bytes
       | Netsim.From_controller bytes -> run_pipeline t ~port:cpu_port bytes);
   t
 

@@ -37,6 +37,13 @@ val pipeline : t -> P4rt.Pipeline.t
     this switch commits a forwarding rule. *)
 val on_commit : t -> (flow_id:int -> version:int -> time:float -> unit) -> unit
 
+(** [on_deliver t f] registers an egress hook: [f ~time d] runs whenever
+    this switch delivers data packet [d] locally (its rule maps the flow
+    to [Wire.port_local]).  Local delivery never crosses a link, so
+    [Netsim.on_delivery] observers cannot see it — this hook is how a
+    live auditor learns a packet left the network. *)
+val on_deliver : t -> (time:float -> Wire.data -> unit) -> unit
+
 (** [inject_data t data] lets the attached host push a data packet into
     the ingress pipeline (used by traffic generators). *)
 val inject_data : t -> Wire.data -> unit

@@ -63,7 +63,10 @@ let p4u_schema =
 
 let data_schema =
   Header.define ~name:"data"
-    [ ("flow_id", 16); ("seq", 32); ("ttl", 8); ("origin", 8); ("dst", 16); ("tag", 16) ]
+    [
+      ("flow_id", 16); ("seq", 32); ("ttl", 8); ("origin", 8); ("dst", 16); ("tag", 16);
+      ("ts", 32);
+    ]
 
 let parser =
   Parser.create
@@ -173,6 +176,7 @@ type data = {
   origin : int;
   dst : int;
   tag : int;
+  d_ts : int;
 }
 
 let data_to_packet d =
@@ -183,6 +187,7 @@ let data_to_packet d =
   let h = Header.set h "origin" d.origin in
   let h = Header.set h "dst" d.dst in
   let h = Header.set h "tag" d.tag in
+  let h = Header.set h "ts" d.d_ts in
   Packet.make [ eth_header ~etype:etype_data; h ]
 
 let data_of_packet pkt =
@@ -197,6 +202,7 @@ let data_of_packet pkt =
         origin = Header.get h "origin";
         dst = Header.get h "dst";
         tag = Header.get h "tag";
+        d_ts = Header.get h "ts";
       }
 
 let control_to_bytes c = Packet.serialize (control_to_packet c)

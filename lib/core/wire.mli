@@ -101,6 +101,9 @@ type data = {
   origin : int;
   dst : int;  (** destination node id (what a real header's dst address encodes) *)
   tag : int;  (** 2-phase-commit version tag stamped by the ingress (0 = untagged) *)
+  d_ts : int;
+      (** ingress timestamp in simulated µs, stamped at injection (0 = unset);
+          32 bits cover ~71 min of simulated time *)
 }
 
 val data_to_packet : data -> P4rt.Packet.t

@@ -128,9 +128,9 @@ let run ?until t =
     else if step t then loop (processed + 1)
     else processed
   in
-  let started = Sys.time () in
+  let started = Wallclock.now_s () in
   let processed = loop 0 in
-  t.wall_s <- t.wall_s +. (Sys.time () -. started);
+  t.wall_s <- t.wall_s +. Wallclock.elapsed_s ~since:started;
   processed
 
 let stats t =

@@ -82,10 +82,10 @@ val run : ?until:float -> t -> int
 val step : t -> bool
 
 (** Kernel throughput counters: [st_events] events dispatched since
-    creation (or the last {!reset_stats}), [st_wall_s] processor seconds
-    spent inside {!run}, and their ratio [st_events_per_s] ([0.] before
-    any timed run).  The scale engine and the bench harness report these
-    as events/sec. *)
+    creation (or the last {!reset_stats}), [st_wall_s] monotonic
+    wall-clock seconds (see {!Wallclock}) spent inside {!run}, and their
+    ratio [st_events_per_s] ([0.] before any timed run).  The scale
+    engine and the bench harness report these as events/sec. *)
 type stats = { st_events : int; st_wall_s : float; st_events_per_s : float }
 
 val stats : t -> stats

@@ -1,0 +1,11 @@
+(* Monotonic wall clock.
+
+   [Sys.time] measures process CPU time, which under-reads whenever the
+   process blocks (I/O, scheduling) and so must not be labelled "wall
+   clock".  The bechamel probe library ships a tiny C stub over
+   [clock_gettime(CLOCK_MONOTONIC)]; we reuse it rather than growing our
+   own stubs or adding a dependency the image doesn't carry. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_s ~since = now_s () -. since

@@ -1,0 +1,14 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC).
+
+    Use this — never [Sys.time], which is process CPU time — when timing
+    anything reported as wall-clock throughput or latency. *)
+
+(** Nanoseconds from an arbitrary (but fixed) origin; never goes
+    backwards. *)
+val now_ns : unit -> int64
+
+(** {!now_ns} in seconds. *)
+val now_s : unit -> float
+
+(** [elapsed_s ~since] is [now_s () -. since]. *)
+val elapsed_s : since:float -> float

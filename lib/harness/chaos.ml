@@ -67,6 +67,7 @@ type report = {
   r_completion_ms : float option;
   r_baseline_completion_ms : float option;
   r_trace_hash : int;
+  r_traffic : Traffic.summary option;
 }
 
 let ok r = r.r_violations = [] && r.r_converged = r.r_flows
@@ -233,7 +234,7 @@ let install_probes (w : World.t) cfg monitor (flows : P4update.Controller.flow l
 
 let hash_combine h x = ((h * 1000003) lxor x) land 0x3FFFFFFF
 
-let run_one ~scenario ~seed ~cfg =
+let run_one ?traffic ~scenario ~seed ~cfg () =
   let topo = topo_of scenario in
   let w = World.make ~seed topo in
   let trace_hash = ref 0x1505 in
@@ -254,14 +255,24 @@ let run_one ~scenario ~seed ~cfg =
         World.install_flow w ~src:pl.pl_src ~dst:pl.pl_dst ~size:100 ~path:pl.pl_old)
       planned
   in
+  (* Probe traffic (opt-in) attaches after the workload's flows exist so
+     the auditor seeds its version history from them; its RNG draws for
+     injection gaps come later in event order than the workload/fault
+     draws above, so runs without traffic keep their exact schedule. *)
+  let tr = Option.map (fun workload -> Traffic.attach ~workload w) traffic in
   List.iter2
     (fun pl (f : P4update.Controller.flow) ->
       let at = 100.0 +. Sim.uniform w.World.sim ~bound:(cfg.fault_window_ms /. 2.0) in
       Sim.schedule_at w.World.sim ~time:at (fun () ->
           ignore
             (P4update.Controller.update_flow w.World.controller
-               ~flow_id:f.P4update.Controller.flow_id ~new_path:pl.pl_new ())))
+               ~flow_id:f.P4update.Controller.flow_id ~new_path:pl.pl_new ());
+          Option.iter
+            (fun t ->
+              Traffic.note_pushed t ~flow_id:f.P4update.Controller.flow_id ~version:0)
+            tr))
     planned flows;
+  Option.iter Traffic.start tr;
   install_fault_hooks w cfg;
   let element_failures = schedule_element_failures w cfg in
   let monitor = Invariants.create w in
@@ -311,23 +322,27 @@ let run_one ~scenario ~seed ~cfg =
     r_completion_ms = completion;
     r_baseline_completion_ms = None;
     r_trace_hash = !trace_hash;
+    r_traffic = Option.map (fun t -> Traffic.finalize t) tr;
   }
 
-let run ?(config = default_config) ?trace_sink ~scenario ~seed () =
+let run ?(config = default_config) ?trace_sink ?traffic ~scenario ~seed () =
   (* Only the degraded run is traced: the fault-free baseline would overlay
-     a second span tree at the same timestamps. *)
+     a second span tree at the same timestamps.  Probe traffic likewise
+     rides the degraded run only — the baseline's job is the workload's
+     fault-free convergence reference, not a second packet audit. *)
   let faulty =
     match trace_sink with
-    | None -> run_one ~scenario ~seed ~cfg:config
+    | None -> run_one ?traffic ~scenario ~seed ~cfg:config ()
     | Some sink ->
       Obs.Trace.install sink;
       Fun.protect ~finally:Obs.Trace.uninstall (fun () ->
-          run_one ~scenario ~seed ~cfg:config)
+          run_one ?traffic ~scenario ~seed ~cfg:config ())
   in
   let baseline =
     run_one ~scenario ~seed
       ~cfg:{ config with data_fault_prob = 0.0; control_fault_prob = 0.0;
              max_element_failures = 0 }
+      ()
   in
   {
     faulty with
@@ -350,13 +365,13 @@ let config_of_plan (p : Run_config.fault_plan) =
     watchdog_ms = p.fp_watchdog_ms;
   }
 
-let run_cfg (cfg : Run_config.t) ~scenario =
+let run_cfg ?traffic (cfg : Run_config.t) ~scenario =
   let config =
     config_of_plan
       (Option.value cfg.Run_config.fault_plan ~default:Run_config.default_faults)
   in
-  run ~config ?trace_sink:cfg.Run_config.trace_sink ~scenario ~seed:cfg.Run_config.seed
-    ()
+  run ~config ?trace_sink:cfg.Run_config.trace_sink ?traffic ~scenario
+    ~seed:cfg.Run_config.seed ()
 
 let report_line r =
   let verdict = if ok r then "ok" else "FAIL" in
@@ -364,13 +379,21 @@ let report_line r =
     | Some t -> Printf.sprintf "%.0fms" t
     | None -> "never"
   in
+  let traffic =
+    match r.r_traffic with
+    | None -> ""
+    | Some ts ->
+      Printf.sprintf ", traffic %d/%d delivered %d audit-violations"
+        ts.Traffic.ts_delivered ts.Traffic.ts_injected (Traffic.violations ts)
+  in
   Printf.sprintf
     "chaos %-8s seed=%-3d %s: %d/%d converged (baseline %d/%d, %s vs %s), %d violations, \
      retx=%d reroutes=%d resyncs=%d alarms=%d, drops fault=%d failure=%d, failures=%d, \
-     hash=%08x"
+     hash=%08x%s"
     (scenario_name r.r_scenario) r.r_seed verdict r.r_converged r.r_flows
     r.r_baseline_converged r.r_flows
     (completion r.r_completion_ms)
     (completion r.r_baseline_completion_ms)
     (List.length r.r_violations) r.r_retransmissions r.r_reroutes r.r_resyncs r.r_alarms
     r.r_dropped_by_fault r.r_dropped_by_failure r.r_element_failures r.r_trace_hash
+    traffic

@@ -69,6 +69,11 @@ type report = {
   r_completion_ms : float option;  (** last flow's success UFM, when all reported *)
   r_baseline_completion_ms : float option;
   r_trace_hash : int;              (** digest of all data-plane deliveries *)
+  r_traffic : Traffic.summary option;
+      (** per-packet audit of the degraded run, when probe traffic was
+          requested.  Under faults, blackholes (dropped probes) and
+          duplicate-induced loop classifications are expected — the
+          interesting signal is [ts_mixed]. *)
 }
 
 (** All invariants held and every flow converged. *)
@@ -81,8 +86,14 @@ val ok : report -> bool
     sink is installed around the degraded run only (not the baseline);
     injected faults appear as ["fault.injected"] instants in category
     ["chaos"].  Tracing never perturbs the schedule, so the report —
-    including [r_trace_hash] — is identical with or without a sink. *)
-val run_cfg : Run_config.t -> scenario:scenario -> report
+    including [r_trace_hash] — is identical with or without a sink.
+
+    [?traffic] additionally races sustained probe traffic (the
+    {!Traffic} auditor) through the degraded run — not the baseline —
+    and reports the per-packet audit in [r_traffic].  Runs without
+    [?traffic] draw exactly the same schedule as before the auditor
+    existed ([r_trace_hash] unchanged). *)
+val run_cfg : ?traffic:Traffic.workload -> Run_config.t -> scenario:scenario -> report
 
 (** Translation of a {!Run_config.fault_plan} into this harness's
     {!config} (field for field). *)
@@ -91,8 +102,8 @@ val config_of_plan : Run_config.fault_plan -> config
 (** Deprecated scattered-argument wrapper around {!run_cfg}; prefer
     building a {!Run_config.t}.  Kept for existing call sites. *)
 val run :
-  ?config:config -> ?trace_sink:Obs.Trace.sink -> scenario:scenario -> seed:int ->
-  unit -> report
+  ?config:config -> ?trace_sink:Obs.Trace.sink -> ?traffic:Traffic.workload ->
+  scenario:scenario -> seed:int -> unit -> report
 
 (** One-line degradation summary. *)
 val report_line : report -> string

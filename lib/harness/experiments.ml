@@ -97,7 +97,7 @@ let fig2_p4update ~seed =
   let rec generator () =
     if Sim.now sim < fig2_horizon then begin
       P4update.Switch.inject_data switches.(0)
-        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = fig2_ttl; origin = 0; dst = 4; tag = 0 };
+        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = fig2_ttl; origin = 0; dst = 4; tag = 0; d_ts = 0 };
       incr sent;
       Sim.schedule sim ~delay:fig2_packet_interval_ms generator
     end
@@ -135,7 +135,7 @@ let fig2_ez ~seed =
   let rec generator () =
     if Sim.now sim < fig2_horizon then begin
       Baselines.Agent.inject_data agents.(0)
-        { Wire.d_flow_id = flow_id; seq = !sent; ttl = fig2_ttl; origin = 0; dst = 4; tag = 0 };
+        { Wire.d_flow_id = flow_id; seq = !sent; ttl = fig2_ttl; origin = 0; dst = 4; tag = 0; d_ts = 0 };
       incr sent;
       Sim.schedule sim ~delay:fig2_packet_interval_ms generator
     end

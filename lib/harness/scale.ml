@@ -49,6 +49,7 @@ type result = {
   sr_updates_pushed : int;
   sr_updates_completed : int;
   sr_bursts : int;
+  sr_underfilled : int;           (* bursts short of wl_burst distinct flows *)
   sr_churned : int;
   sr_probes : int;
   sr_completion_ms : float list;  (* one sample per completed update *)
@@ -62,14 +63,30 @@ type result = {
   sr_violations : Invariants.violation list;
 }
 
+(* Observation hooks for layers that ride along with the workload (the
+   traffic engine).  The factory runs once the flow population is
+   admitted — enumerate [World.flows] there for the initial state — and
+   the returned hooks fire as the run unfolds. *)
+type hooks = {
+  h_admitted : flow_id:int -> unit;  (* churn admitted a fresh flow *)
+  h_pushed : flow_id:int -> version:int -> unit;
+      (* an update was pushed; the controller's flow record already shows
+         the new version/path *)
+}
+
+let no_hooks = { h_admitted = (fun ~flow_id:_ -> ()); h_pushed = (fun ~flow_id:_ ~version:_ -> ()) }
+
 (* ---- flow population ------------------------------------------------- *)
 
 (* Per-flow rotation state: the alternative paths and which one is live. *)
 type slot = { mutable flow_id : int; mutable paths : int list array; mutable cur : int }
 
+(* At least two distinct paths, or the pair is rejected: a single-path
+   flow would "rotate" onto its own path, and counting those no-op
+   updates would inflate updates/s with work the data plane never sees. *)
 let alt_paths g ~src ~dst =
   match Graph.k_shortest_paths g ~src ~dst ~k:3 with
-  | [] -> None
+  | [] | [ _ ] -> None
   | paths -> Some (Array.of_list paths)
 
 (* Draw a fresh (src, dst) pair whose flow id is not yet taken and which
@@ -96,9 +113,42 @@ let admit w g ~n ~size =
   let flow = World.install_flow w ~src ~dst ~size ~path:paths.(0) in
   { flow_id = flow.P4update.Controller.flow_id; paths; cur = 0 }
 
+(* ---- preparation re-timing ------------------------------------------- *)
+
+(* Time [Controller.prepare_batch] over [requests] without mutating the
+   world it measures: a throwaway [World] is built on the same topology,
+   the live flows are re-registered into it at their current paths, and
+   the timing loop hammers the clone's controller.  The caller's
+   controller state (fingerprint) is untouched. *)
+let retime_prep (w : World.t) requests =
+  let topo = Netsim.topology w.World.net in
+  let clone = World.make ~seed:0 topo in
+  List.iter
+    (fun (flow_id, _) ->
+      match World.find_flow w ~flow_id with
+      | Some f ->
+        ignore
+          (World.install_flow clone ~src:f.P4update.Controller.src
+             ~dst:f.P4update.Controller.dst ~size:f.P4update.Controller.size
+             ~path:f.P4update.Controller.path)
+      | None -> ())
+    requests;
+  let batch = List.length requests in
+  if batch = 0 then 0.0
+  else begin
+    let reps = ref 0 in
+    let started = Dessim.Wallclock.now_s () in
+    let elapsed () = Dessim.Wallclock.elapsed_s ~since:started in
+    while elapsed () < 0.2 do
+      ignore (P4update.Controller.prepare_batch clone.World.controller requests);
+      incr reps
+    done;
+    float_of_int (!reps * batch) /. elapsed ()
+  end
+
 (* ---- the engine ------------------------------------------------------ *)
 
-let run ?(workload = default_workload) (cfg : Run_config.t) topo =
+let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
   let w = World.make ~seed:cfg.Run_config.seed topo in
   let g = topo.Topo.Topologies.graph in
   let n = Graph.node_count g in
@@ -107,6 +157,8 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
   (* Population: admitted one by one so the RNG draw order (and hence the
      whole run) is a pure function of the seed. *)
   let slots = Array.init wl.wl_flows (fun _ -> admit w g ~n ~size:wl.wl_flow_size) in
+  (* Ride-along layers see the world only after the population exists. *)
+  let hk = match hooks with None -> no_hooks | Some f -> f w in
   let monitor = Invariants.create w in
   (* Completion capture: push time per (flow, version); the report hook
      turns the matching success UFM into one completion sample. *)
@@ -125,6 +177,7 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
       end);
   let pushed = ref 0 in
   let bursts = ref 0 in
+  let underfilled = ref 0 in
   let churned = ref 0 in
   let probes = ref 0 in
   let prep_s = ref 0.0 in
@@ -145,6 +198,10 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
         picked := i :: !picked
       end
     done;
+    (* The distinct-flow pick can run out of tries on tiny populations;
+       the burst is then clamped to what was picked, and recorded so a
+       report reading "N bursts" cannot silently mean fewer updates. *)
+    if Hashtbl.length chosen < want then incr underfilled;
     let requests =
       List.rev_map
         (fun i ->
@@ -153,16 +210,18 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
           (s.flow_id, s.paths.(s.cur)))
         !picked
     in
-    let started = Sys.time () in
+    let started = Dessim.Wallclock.now_s () in
     let prepared = P4update.Controller.prepare_batch w.World.controller requests in
-    prep_s := !prep_s +. (Sys.time () -. started);
+    prep_s := !prep_s +. Dessim.Wallclock.elapsed_s ~since:started;
     prepared_n := !prepared_n + List.length prepared;
     let now = Sim.now w.World.sim in
     List.iter
       (fun (p : P4update.Controller.prepared) ->
         Hashtbl.replace pending (p.P4update.Controller.p_flow, p.P4update.Controller.p_version) now;
         P4update.Controller.push w.World.controller p;
-        incr pushed)
+        incr pushed;
+        hk.h_pushed ~flow_id:p.P4update.Controller.p_flow
+          ~version:p.P4update.Controller.p_version)
       prepared;
     incr bursts;
     (* Flow churn: one randomly chosen slot retires (its flow keeps its
@@ -170,7 +229,8 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
     if wl.wl_churn > 0.0 && Sim.uniform w.World.sim ~bound:1.0 < wl.wl_churn then begin
       let i = Sim.uniform_int w.World.sim ~bound:wl.wl_flows in
       slots.(i) <- admit w g ~n ~size:wl.wl_flow_size;
-      incr churned
+      incr churned;
+      hk.h_admitted ~flow_id:slots.(i).flow_id
     end;
     if wl.wl_probe_every > 0 && !bursts mod wl.wl_probe_every = 0 then begin
       incr probes;
@@ -196,33 +256,29 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
   let samples = !completions in
   let p50 = Option.value ~default:0.0 (Stats.percentile_opt 50.0 samples) in
   let p99 = Option.value ~default:0.0 (Stats.percentile_opt 99.0 samples) in
-  (* Preparation throughput: the in-run [Sys.time] deltas are too coarse
-     to divide by when each burst prepares in microseconds, so fall back
-     to re-timing the preparation of one more batch over every live flow,
-     repeated until enough wall time accumulated. *)
+  (* Preparation throughput: the in-run timing deltas are too coarse to
+     divide by when each burst prepares in microseconds, so fall back to
+     re-timing batch preparation.  The timing loop must not touch the
+     live world — repeated [prepare_batch] calls against the post-run
+     controller would grow its prepare cache and advance prepared
+     versions purely for measurement — so it runs against a throwaway
+     clone carrying the same flows ({!retime_prep}). *)
+  let requests =
+    Array.to_list
+      (Array.map
+         (fun s -> (s.flow_id, s.paths.((s.cur + 1) mod Array.length s.paths)))
+         slots)
+  in
   let prep_per_s =
     if !prep_s > 0.01 then float_of_int !prepared_n /. !prep_s
-    else begin
-      let requests =
-        Array.to_list
-          (Array.map (fun s -> (s.flow_id, s.paths.((s.cur + 1) mod Array.length s.paths))) slots)
-      in
-      let batch = List.length requests in
-      let reps = ref 0 in
-      let started = Sys.time () in
-      let elapsed () = Sys.time () -. started in
-      while elapsed () < 0.2 do
-        ignore (P4update.Controller.prepare_batch w.World.controller requests);
-        incr reps
-      done;
-      float_of_int (!reps * batch) /. elapsed ()
-    end
+    else retime_prep w requests
   in
   {
     sr_topology = topo.Topo.Topologies.name;
     sr_updates_pushed = !pushed;
     sr_updates_completed = !completed;
     sr_bursts = !bursts;
+    sr_underfilled = !underfilled;
     sr_churned = !churned;
     sr_probes = !probes;
     sr_completion_ms = samples;
@@ -240,10 +296,10 @@ let run ?(workload = default_workload) (cfg : Run_config.t) topo =
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>%s: %d/%d updates completed in %d bursts (%.1f ms simulated)@,\
+    "@[<v>%s: %d/%d updates completed in %d bursts (%d underfilled, %.1f ms simulated)@,\
      completion p50 %.2f ms  p99 %.2f ms   churned %d  probes %d  violations %d@,\
      kernel: %d events, %.0f events/s   %.0f updates/s   prep %.0f updates/s@]"
-    r.sr_topology r.sr_updates_completed r.sr_updates_pushed r.sr_bursts r.sr_sim_ms
-    r.sr_p50_ms r.sr_p99_ms r.sr_churned r.sr_probes
+    r.sr_topology r.sr_updates_completed r.sr_updates_pushed r.sr_bursts r.sr_underfilled
+    r.sr_sim_ms r.sr_p50_ms r.sr_p99_ms r.sr_churned r.sr_probes
     (List.length r.sr_violations) r.sr_events r.sr_events_per_s r.sr_updates_per_s
     r.sr_prep_per_s

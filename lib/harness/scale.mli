@@ -31,6 +31,9 @@ type result = {
   sr_updates_pushed : int;
   sr_updates_completed : int;
   sr_bursts : int;
+  sr_underfilled : int;
+      (** bursts clamped below [wl_burst] because the distinct-flow pick
+          loop exhausted its tries (tiny populations) *)
   sr_churned : int;
   sr_probes : int;
   sr_completion_ms : float list; (** one sample per completed update *)
@@ -38,15 +41,43 @@ type result = {
   sr_p99_ms : float;
   sr_sim_ms : float;             (** simulated time at drain *)
   sr_events : int;
-  sr_events_per_s : float;       (** kernel dispatch rate (wall clock) *)
+  sr_events_per_s : float;       (** kernel dispatch rate (monotonic wall clock) *)
   sr_updates_per_s : float;      (** completed updates per wall second *)
   sr_prep_per_s : float;         (** controller preparation throughput *)
   sr_violations : Invariants.violation list;
 }
 
-(** [run ?workload cfg topo] executes the workload on [topo], seeded from
-    [cfg.Run_config.seed].  Deterministic except for the wall-clock
-    throughput fields. *)
-val run : ?workload:workload -> Run_config.t -> Topo.Topologies.t -> result
+(** Ride-along observation hooks (the traffic engine).  The factory given
+    to {!run} is called once the initial flow population is admitted —
+    enumerate [World.flows] there — and the returned hooks fire as the
+    workload unfolds.  [h_pushed] fires right after each
+    [Controller.push], when the controller's flow record already shows
+    the new version and path; [h_admitted] fires for each churn
+    admission. *)
+type hooks = {
+  h_admitted : flow_id:int -> unit;
+  h_pushed : flow_id:int -> version:int -> unit;
+}
+
+val no_hooks : hooks
+
+(** [alt_paths g ~src ~dst] is the alternative-path set a flow of the
+    workload rotates over: [None] unless at least {e two} distinct
+    k-shortest paths exist (a single-path flow would only generate no-op
+    updates). *)
+val alt_paths : Topo.Graph.t -> src:int -> dst:int -> int list array option
+
+(** [retime_prep w requests] measures [Controller.prepare_batch]
+    throughput (updates/s) for [requests] without touching [w]'s
+    controller: the timing loop runs against a throwaway clone world
+    carrying the same flows. *)
+val retime_prep : World.t -> (int * int list) list -> float
+
+(** [run ?workload ?hooks cfg topo] executes the workload on [topo],
+    seeded from [cfg.Run_config.seed].  Deterministic except for the
+    wall-clock throughput fields. *)
+val run :
+  ?workload:workload -> ?hooks:(World.t -> hooks) -> Run_config.t ->
+  Topo.Topologies.t -> result
 
 val pp : Format.formatter -> result -> unit

@@ -17,10 +17,11 @@ let stddev = function
    raise with a clear message, and [*_opt] variants are provided for
    callers that want to handle emptiness themselves. *)
 
-let percentile_opt p = function
+let percentile_opt p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+  match xs with
   | [] -> None
   | xs ->
-    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
     let sorted = List.sort compare xs in
     let arr = Array.of_list sorted in
     let n = Array.length arr in

@@ -1,0 +1,99 @@
+(** Live traffic engine with per-packet consistency auditing.
+
+    Injects sustained per-flow probe packets at each flow's ingress
+    (gaps drawn from the world's simulation RNG, so a seed fully
+    determines the packet schedule) while updates race through the data
+    plane, records every packet's actual hop trajectory via
+    [Netsim.on_delivery] plus the [Switch.on_deliver] egress hook, and
+    classifies each packet against the flow's version history — an
+    empirical Thm. 1/2 check on live packets racing rule installations.
+
+    A packet is {e consistent} iff a version assignment exists along its
+    trajectory's edges (each edge is allowed the versions whose path
+    contains it) that never decreases — except out of a version
+    installed by a {e dual-layer} update, whose gateway exits legally
+    drop a packet from a committed new-path segment back onto the old
+    path (DL guarantees loop/blackhole freedom via distance labels, not
+    version monotonicity; loops and blackholes are audited separately).
+    Downstream-first commits make old-prefix/new-suffix switchovers
+    legal (versions go up); any other {e downgrade} — an upstream node
+    switched before its downstream was ready — is the violation local
+    verification rules out.  Absent injected faults a correct plane
+    yields zero [Mixed], [Loop] and [Blackhole] packets. *)
+
+type workload = {
+  tw_mean_gap_ms : float;  (** per-flow mean inter-packet gap *)
+  tw_poisson : bool;       (** exponential gaps; false = constant rate *)
+  tw_stop_ms : float;      (** injection stops at this simulated time *)
+  tw_ttl : int;
+}
+
+(** Poisson, 2.5 ms mean gap per flow, stop at 800 ms, TTL 64. *)
+val default_workload : workload
+
+type outcome =
+  | Old_path   (** explainable by versions current at injection *)
+  | New_path   (** needed a later version: rode an update's legal switchover *)
+  | Mixed      (** version downgrade or misdelivery — a real violation *)
+  | Loop       (** a node repeats in the trajectory *)
+  | Blackhole  (** never delivered by drain *)
+
+val outcome_name : outcome -> string
+
+type summary = {
+  ts_injected : int;
+  ts_delivered : int;
+  ts_dropped : int;
+  ts_reordered : int;
+  ts_old_path : int;
+  ts_new_path : int;
+  ts_mixed : int;
+  ts_loops : int;
+  ts_blackholes : int;
+  ts_p50_ms : float;
+  ts_p99_ms : float;
+  ts_sim_ms : float;
+  ts_wall_s : float;
+  ts_pkts_per_s : float;  (** injected per wall second (0 when untimed) *)
+  ts_digest : int;        (** seq-ordered per-packet outcome digest *)
+}
+
+(** Consistency violations: [ts_mixed + ts_loops + ts_blackholes]. *)
+val violations : summary -> int
+
+type t
+
+(** [attach ?workload w] registers the auditor's observers (link hops,
+    per-switch egress hooks) and seeds the version history from the
+    world's current flows.  Injection starts with {!start}. *)
+val attach : ?workload:workload -> World.t -> t
+
+(** Arm one injector per known flow (idempotent per flow). *)
+val start : t -> unit
+
+(** Record a pushed update: the controller's flow record (already showing
+    the new version and path) extends the flow's version history. *)
+val note_pushed : t -> flow_id:int -> version:int -> unit
+
+(** Record a newly admitted flow and arm its injector. *)
+val note_admitted : t -> flow_id:int -> unit
+
+(** The engine's hooks in {!Scale.run} form. *)
+val scale_hooks : t -> Scale.hooks
+
+(** Classify every injected packet and summarise.  Call once the plane
+    has drained ([World.run] returned with an empty heap); undelivered
+    packets classify as [Blackhole].  [wall_s] (when the caller timed
+    the run) prices [ts_pkts_per_s]. *)
+val finalize : ?wall_s:float -> t -> summary
+
+(** [run_scale ?scale_workload ?workload cfg topo] races probe traffic
+    against the Scale engine's update bursts on [topo]: one world, the
+    update workload from [scale_workload] and sustained traffic from
+    [workload], both seeded from [cfg].  Returns the scale result and
+    the traffic audit. *)
+val run_scale :
+  ?scale_workload:Scale.workload -> ?workload:workload -> Run_config.t ->
+  Topo.Topologies.t -> Scale.result * summary
+
+val pp : Format.formatter -> summary -> unit

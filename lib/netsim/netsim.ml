@@ -51,6 +51,7 @@ let kind_names =
    record on each call so existing field-access call sites keep working. *)
 type counters = {
   data_packets : int;
+  data_injected : int;
   control_to_switch : int;
   control_to_controller : int;
   resubmissions : int;
@@ -66,6 +67,7 @@ type counters = {
    event instead of a name lookup. *)
 type stats_handles = {
   h_data_packets : Obs.Metrics.counter;
+  h_data_injected : Obs.Metrics.counter;
   h_control_to_switch : Obs.Metrics.counter;
   h_control_to_controller : Obs.Metrics.counter;
   h_resubmissions : Obs.Metrics.counter;
@@ -116,6 +118,7 @@ let make_stats_handles metrics =
   let c = Obs.Metrics.counter metrics in
   {
     h_data_packets = c "net.data.rx";
+    h_data_injected = c "net.data.injected";
     h_control_to_switch = c "net.ctl.to_switch";
     h_control_to_controller = c "net.ctl.to_controller";
     h_resubmissions = c "net.data.resubmit";
@@ -165,6 +168,7 @@ let counters t =
   let c = Obs.Metrics.count in
   {
     data_packets = c s.h_data_packets;
+    data_injected = c s.h_data_injected;
     control_to_switch = c s.h_control_to_switch;
     control_to_controller = c s.h_control_to_controller;
     resubmissions = c s.h_resubmissions;
@@ -373,6 +377,20 @@ let transmit t ~from ~port bytes =
           deliver_data t ~via:from ~node:neighbor ~port:rx_port bytes delay)
         ~delay ~dup_budget:1 bytes
     end
+
+(* Ingress port reported to a device for a host-injected packet.  Distinct
+   from the resubmit pseudo-port (-1); devices translate it to their own
+   host-facing pseudo ingress (e.g. [Switch.host_port]). *)
+let port_host = -2
+
+let host_inject ?(delay = 0.0) t ~node bytes =
+  Obs.Metrics.incr t.stats.h_data_injected;
+  Sim.schedule
+    ?tag:(delivery_tag t ~kind:"inject" ~node bytes)
+    t.sim ~delay
+    (fun () ->
+      if node_is_up t ~node then t.handlers.(node) (Data { port = port_host; bytes })
+      else Obs.Metrics.incr t.stats.h_dropped_by_failure)
 
 let resubmit t ~node bytes =
   Obs.Metrics.incr t.stats.h_resubmissions;

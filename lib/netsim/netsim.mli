@@ -94,6 +94,17 @@ val transmit : t -> from:int -> port:int -> Bytes.t -> unit
 (** Loopback re-injection after [resubmit_delay_ms] (BMv2 resubmit). *)
 val resubmit : t -> node:int -> Bytes.t -> unit
 
+(** Ingress port a device sees for a host-injected packet ([-2]); devices
+    translate it to their host-facing pseudo ingress. *)
+val port_host : int
+
+(** [host_inject t ~node bytes] delivers [bytes] to [node]'s device as
+    host traffic entering the network at that node, after [delay]
+    (default 0) simulated ms, through the event heap.  Counted in
+    [net.data.injected]; lost (counted as failure drop) if the node is
+    down at delivery time. *)
+val host_inject : ?delay:float -> t -> node:int -> Bytes.t -> unit
+
 (** Switch-to-controller message (FRM/UFM). *)
 val notify_controller : t -> from:int -> Bytes.t -> unit
 
@@ -153,6 +164,7 @@ val on_delivery : t -> (float -> int -> int -> Bytes.t -> unit) -> unit
     historical field-access API keeps working unchanged. *)
 type counters = {
   data_packets : int;
+  data_injected : int;  (** host packets entered via {!host_inject} *)
   control_to_switch : int;
   control_to_controller : int;
   resubmissions : int;

@@ -26,4 +26,5 @@ let () =
       ("obs", Test_obs.suite);
       ("mc", Test_mc.suite);
       ("scale", Test_scale.suite);
+      ("traffic", Test_traffic.suite);
     ]

@@ -95,7 +95,7 @@ let prop_data_roundtrip =
   QCheck.Test.make ~name:"data packet parse . serialize = id" ~count:300
     QCheck.(quad (int_bound 65535) (int_bound 0xFFFF) (int_bound 255) (int_bound 255))
     (fun (flow, seq, ttl, origin) ->
-      let d = { P4update.Wire.d_flow_id = flow; seq; ttl; origin; dst = origin; tag = 0 } in
+      let d = { P4update.Wire.d_flow_id = flow; seq; ttl; origin; dst = origin; tag = 0; d_ts = 0 } in
       match
         Option.bind
           (P4update.Wire.packet_of_bytes (P4update.Wire.data_to_bytes d))

@@ -13,7 +13,7 @@ let test_frm_routes_new_flow () =
   let flow_id = Topo.Traffic.flow_id_of_pair ~src:0 ~dst:7 land (Wire.flow_space - 1) in
   let deliver_probe seq =
     Switch.inject_data w.switches.(0)
-      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0 }
+      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0; d_ts = 0 }
   in
   deliver_probe 0;
   let _ = Harness.World.run w in
@@ -37,7 +37,7 @@ let test_frm_reported_once () =
   let flow_id = Topo.Traffic.flow_id_of_pair ~src:0 ~dst:7 land (Wire.flow_space - 1) in
   for seq = 0 to 4 do
     Switch.inject_data w.switches.(0)
-      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0 }
+      { Wire.d_flow_id = flow_id; seq; ttl = 64; origin = 0; dst = 7; tag = 0; d_ts = 0 }
   done;
   let _ = Harness.World.run w in
   (* 5 packets injected, no rule: one FRM, four silent drops. *)

@@ -41,7 +41,7 @@ let test_two_phase_converges () =
     Topo.Topologies.fig1_new_path;
   (* A freshly injected packet takes the new path end to end. *)
   Switch.inject_data w.switches.(0)
-    { Wire.d_flow_id = flow.flow_id; seq = 0; ttl = 64; origin = 0; dst = 7; tag = 0 };
+    { Wire.d_flow_id = flow.flow_id; seq = 0; ttl = 64; origin = 0; dst = 7; tag = 0; d_ts = 0 };
   let _ = Harness.World.run w in
   Alcotest.(check int) "tagged packet delivered" 1
     (Switch.stats w.switches.(7)).Switch.delivered
@@ -69,7 +69,7 @@ let test_per_packet_consistency () =
   let rec generator () =
     if Dessim.Sim.now w.sim < 400.0 then begin
       Switch.inject_data w.switches.(0)
-        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = 64; origin = 0; dst = 7; tag = 0 };
+        { Wire.d_flow_id = flow.flow_id; seq = !sent; ttl = 64; origin = 0; dst = 7; tag = 0; d_ts = 0 };
       incr sent;
       Dessim.Sim.schedule w.sim ~delay:3.0 generator
     end
