@@ -6,16 +6,18 @@
              dune exec bench/main.exe -- quick   (smoke: 5 runs/figure)
              dune exec bench/main.exe -- scale   (scale subsuite -> BENCH_scale.json)
              dune exec bench/main.exe -- traffic (traffic audit -> BENCH_traffic.json)
+             dune exec bench/main.exe -- soak    (soak monitor -> BENCH_soak.json)
 
    With [--json FILE] every headline number is additionally written to
    FILE as an array of {"name", "unit", "value"} rows, one per metric —
-   the format CI trend dashboards ingest.  The [scale] and [traffic]
-   subsuites always write rows (default files BENCH_scale.json and
-   BENCH_traffic.json). *)
+   the format CI trend dashboards ingest.  The [scale], [traffic] and
+   [soak] subsuites always write rows (default files BENCH_scale.json,
+   BENCH_traffic.json and BENCH_soak.json). *)
 
 let quick = Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
 let scale_mode = Array.exists (fun a -> a = "scale") Sys.argv
 let traffic_mode = Array.exists (fun a -> a = "traffic") Sys.argv
+let soak_mode = Array.exists (fun a -> a = "soak") Sys.argv
 
 let json_out =
   let out = ref None in
@@ -25,10 +27,15 @@ let json_out =
   match !out with
   | None when scale_mode -> Some "BENCH_scale.json"
   | None when traffic_mode -> Some "BENCH_traffic.json"
+  | None when soak_mode -> Some "BENCH_soak.json"
   | out -> out
 
 (* (name, unit, value) rows accumulated by every section below. *)
 let json_rows : (string * string * float) list ref = ref []
+
+(* The soak subsuite is an SLO gate: a breach still writes its rows, then
+   fails the process. *)
+let soak_failed = ref false
 
 let record name unit value =
   if json_out <> None then json_rows := (name, unit, value) :: !json_rows
@@ -283,6 +290,48 @@ let run_traffic () =
     [ Topo.Topologies.attmpls; Topo.Topologies.chinanet ]
 
 (* ------------------------------------------------------------------ *)
+(* Soak subsuite: the graceful-degradation monitor (churn + rolling     *)
+(* faults + probes, leak readings, SLO)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_soak () =
+  Printf.printf "P4Update soak subsuite (%s mode)\n" (if quick then "quick" else "full");
+  section "Soak monitor: churn + rolling faults + probe audit + leak readings";
+  let config =
+    if quick then Harness.Soak.quick_config else Harness.Soak.default_config
+  in
+  let topo = Topo.Topologies.b4 () in
+  let cfg = Harness.Run_config.make ~seed:Harness.Run_config.default.Harness.Run_config.seed () in
+  let r = Harness.Soak.run ~config cfg topo in
+  Format.printf "%a@." Harness.Soak.pp r;
+  let name = r.Harness.Soak.so_topology in
+  let row metric unit value =
+    Printf.printf "  %-32s %14.1f %s\n" (Printf.sprintf "%s/%s" name metric) value unit;
+    record (Printf.sprintf "soak/%s/%s" name metric) unit value
+  in
+  let ts = r.Harness.Soak.so_traffic in
+  row "events_per_s" "events/s"
+    (if r.Harness.Soak.so_wall_s <= 0.0 then 0.0
+     else float_of_int r.Harness.Soak.so_events /. r.Harness.Soak.so_wall_s);
+  row "pkts_per_s" "pkts/s" ts.Harness.Traffic.ts_pkts_per_s;
+  row "injected" "pkts" (float_of_int ts.Harness.Traffic.ts_injected);
+  row "updates_pushed" "updates" (float_of_int r.Harness.Soak.so_updates_pushed);
+  row "updates_completed" "updates" (float_of_int r.Harness.Soak.so_updates_completed);
+  row "update_p50" "ms" r.Harness.Soak.so_upd_p50_ms;
+  row "update_p99" "ms" r.Harness.Soak.so_upd_p99_ms;
+  row "latency_p99" "ms" ts.Harness.Traffic.ts_p99_ms;
+  row "aborts" "count" (float_of_int r.Harness.Soak.so_recovery.P4update.Controller.aborts);
+  row "give_ups" "count" (float_of_int r.Harness.Soak.so_recovery.P4update.Controller.give_ups);
+  row "violations" "count" (float_of_int (Harness.Traffic.violations ts));
+  row "stuck" "count" (float_of_int (List.length r.Harness.Soak.so_stuck));
+  row "leaks" "count" (float_of_int (List.length r.Harness.Soak.so_leaks));
+  row "slo_ok" "bool" (if Harness.Soak.ok r then 1.0 else 0.0);
+  if not (Harness.Soak.ok r) then begin
+    List.iter print_endline (Harness.Soak.report_lines r);
+    soak_failed := true
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Figure harness                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -367,6 +416,8 @@ let run_figures () =
 let () =
   if scale_mode then run_scale ()
   else if traffic_mode then run_traffic ()
+  else if soak_mode then run_soak ()
   else run_figures ();
   (match json_out with Some path -> write_json_rows path | None -> ());
-  print_newline ()
+  print_newline ();
+  if !soak_failed then exit 1

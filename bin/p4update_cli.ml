@@ -617,6 +617,79 @@ let traffic_cmd =
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg)
 
+(* --- soak --- *)
+
+let soak_cmd =
+  let cycles_arg =
+    Arg.(value & opt int Harness.Soak.default_config.Harness.Soak.sk_cycles
+         & info [ "cycles" ] ~docv:"N" ~doc:"Number of soak cycles.")
+  in
+  let cycle_ms_arg =
+    Arg.(value & opt float Harness.Soak.default_config.Harness.Soak.sk_cycle_ms
+         & info [ "cycle-ms" ] ~docv:"MS" ~doc:"Length of one cycle (simulated ms).")
+  in
+  let population_arg =
+    Arg.(value & opt int Harness.Soak.default_config.Harness.Soak.sk_population
+         & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flow population.")
+  in
+  let updates_arg =
+    Arg.(value & opt int Harness.Soak.default_config.Harness.Soak.sk_updates_per_cycle
+         & info [ "updates-per-cycle"; "u" ] ~docv:"N" ~doc:"Updates pushed per cycle.")
+  in
+  let gap_arg =
+    Arg.(value & opt float Harness.Soak.default_config.Harness.Soak.sk_probe_gap_ms
+         & info [ "gap-mean" ] ~docv:"MS" ~doc:"Per-flow mean probe gap (ms).")
+  in
+  let fault_arg =
+    Arg.(value & opt float Harness.Soak.default_config.Harness.Soak.sk_control_fault_prob
+         & info [ "fault-prob" ] ~docv:"P"
+             ~doc:"Per-message control-plane fault probability in the window.")
+  in
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"CI-sized preset (tens of thousands of probes).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the per-cycle leak readings.")
+  in
+  let run (name, build) seed cycles cycle_ms population updates gap fault quick verbose =
+    let base =
+      if quick then Harness.Soak.quick_config else Harness.Soak.default_config
+    in
+    let config =
+      if quick then base
+      else
+        { base with
+          Harness.Soak.sk_cycles = cycles; sk_cycle_ms = cycle_ms;
+          sk_population = population; sk_updates_per_cycle = updates;
+          sk_probe_gap_ms = gap; sk_control_fault_prob = fault }
+    in
+    let cfg = cfg_of ~seed () in
+    Printf.printf
+      "soak run on %s: %d cycles x %.0f ms, %d flows, faults + churn + probes (seed %d)\n"
+      name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
+      config.Harness.Soak.sk_population seed;
+    let r = Harness.Soak.run ~config cfg (build ()) in
+    Format.printf "%a@." Harness.Soak.pp r;
+    if verbose || not (Harness.Soak.ok r) then
+      List.iter print_endline (Harness.Soak.report_lines r);
+    if not (Harness.Soak.ok r) then begin
+      Printf.printf "soak SLO breach\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-horizon soak: churn + rolling faults + sustained probe audits, cycle \
+          after cycle, with leak and stuck-update readings at every cycle boundary. \
+          Exits nonzero on any SLO breach (violation, stuck update or leak).")
+    Term.(const run
+          $ topo_arg ()
+          $ seed_arg ~default:Harness.Run_config.default.seed
+          $ cycles_arg $ cycle_ms_arg $ population_arg $ updates_arg $ gap_arg
+          $ fault_arg $ quick_arg $ verbose_arg)
+
 (* --- import --- *)
 
 let import_cmd =
@@ -654,4 +727,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
-            scale_cmd; traffic_cmd; import_cmd ]))
+            scale_cmd; traffic_cmd; soak_cmd; import_cmd ]))

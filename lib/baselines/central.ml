@@ -141,7 +141,7 @@ let on_agent_message _t agent ~from_port:_ (c : P4update.Wire.control) =
             src_node = Agent.node agent;
           })
   | P4update.Wire.Cln -> Agent.handle_cleanup agent ~flow_id:c.flow_id ~version:c.version_new
-  | P4update.Wire.Unm | P4update.Wire.Frm | P4update.Wire.Ufm -> ()
+  | P4update.Wire.Unm | P4update.Wire.Frm | P4update.Wire.Ufm | P4update.Wire.Wdm -> ()
 
 let create network ~congestion =
   let n = Topo.Graph.node_count (Netsim.graph network) in

@@ -428,7 +428,7 @@ and handle_message t agent ~from_port:_ (c : P4update.Wire.control) =
     if c.layer = 1 then process_wave t agent node c.flow_id s
     else process_token t agent node c.flow_id s
   | P4update.Wire.Cln -> Agent.handle_cleanup agent ~flow_id:c.flow_id ~version:c.version_new
-  | P4update.Wire.Frm | P4update.Wire.Ufm -> ()
+  | P4update.Wire.Frm | P4update.Wire.Ufm | P4update.Wire.Wdm -> ()
 
 (* GoodToMove: install now (not_in_loop pre-installation), then keep
    pushing it upstream inside the segment.  Parked until the node's own

@@ -16,6 +16,7 @@ type prepared = {
   p_type : Wire.update_type;
   p_uims : (int * Wire.control) list;
   p_segments : Segment.t option;
+  p_old_path : int list;
 }
 
 type report = {
@@ -27,15 +28,25 @@ type report = {
 }
 
 type recovery_stats = {
-  mutable retransmissions : int;
-  mutable reroutes : int;
-  mutable resyncs : int;
+  retransmissions : int;
+  reroutes : int;
+  resyncs : int;
+  aborts : int;
+  give_ups : int;
 }
 
+(* The counters live in the network's Obs.Metrics registry so Traced,
+   Chaos and Soak all read one source; the handles are hoisted here so
+   the hot paths stay single field mutations. *)
 type recovery = {
   rc_timeout_ms : float;
   rc_max_retries : int;
-  rc_stats : recovery_stats;
+  rc_deadline_ms : float option;
+  rc_retransmissions : Obs.Metrics.counter;
+  rc_reroutes : Obs.Metrics.counter;
+  rc_resyncs : Obs.Metrics.counter;
+  rc_aborts : Obs.Metrics.counter;
+  rc_give_ups : Obs.Metrics.counter;
 }
 
 (* Traversal state shared across preparations: the topology's controller
@@ -54,6 +65,7 @@ type t = {
   flow_db : (int, flow) Hashtbl.t;
   mutable report_log : report list; (* reverse order *)
   mutable report_hooks : (report -> unit) list;
+  mutable push_hooks : (flow_id:int -> version:int -> unit) list;
   mutable alarms : int;
   mutable auto_route : bool;
   mutable auto_retrigger : bool;
@@ -62,6 +74,7 @@ type t = {
   last_pushed : (int, prepared) Hashtbl.t; (* flow id -> last pushed update *)
   retriggers : (int * int, int) Hashtbl.t; (* flow id, version -> count *)
   retrigger_times : (int * int, float) Hashtbl.t;
+  aborted : (int, int) Hashtbl.t; (* flow id -> highest aborted version *)
   mutable prep : prep_cache option; (* built lazily on first prepare *)
 }
 
@@ -189,7 +202,14 @@ let prepare_with t cache ~flow_id ~new_path ?update_type ?assume_old_path
           } ))
       labels
   in
-  { p_flow = flow_id; p_version = version; p_type; p_uims = uims; p_segments = segments }
+  {
+    p_flow = flow_id;
+    p_version = version;
+    p_type;
+    p_uims = uims;
+    p_segments = segments;
+    p_old_path = old_path;
+  }
 
 let prepare t ~flow_id ~new_path ?update_type ?assume_old_path ?two_phase () =
   prepare_with t (prep_cache t) ~flow_id ~new_path ?update_type ?assume_old_path
@@ -216,8 +236,22 @@ let completion_time t ~flow_id ~version =
   find (List.rev t.report_log)
 
 let on_report t f = t.report_hooks <- t.report_hooks @ [ f ]
+let on_push t f = t.push_hooks <- t.push_hooks @ [ f ]
 let alarm_count t = t.alarms
-let recovery_stats t = Option.map (fun rc -> rc.rc_stats) t.recovery
+
+let recovery_stats t =
+  Option.map
+    (fun rc ->
+      {
+        retransmissions = Obs.Metrics.count rc.rc_retransmissions;
+        reroutes = Obs.Metrics.count rc.rc_reroutes;
+        resyncs = Obs.Metrics.count rc.rc_resyncs;
+        aborts = Obs.Metrics.count rc.rc_aborts;
+        give_ups = Obs.Metrics.count rc.rc_give_ups;
+      })
+    t.recovery
+
+let aborted_version t ~flow_id = Hashtbl.find_opt t.aborted flow_id
 
 let path_alive t path =
   let rec ok = function
@@ -267,6 +301,79 @@ let send_uims t prepared =
     (List.rev prepared.p_uims)
 
 (* ------------------------------------------------------------------ *)
+(* §11 abort: bounded-retry rollback.
+
+   When retries and reroutes are exhausted (or an operator deadline
+   passes), the controller gives up on the in-flight version: it sends a
+   withdraw (WDM) to every node of the pushed path, discarding staged
+   new-version UIB state there, and reverts the Flow DB to the old path.
+   This is safe because P4Update never removes old rules before final
+   verification: uncommitted nodes still forward on the old version, and
+   any node that did commit has (by downstream-first ordering) a
+   committed chain to the egress — so traffic is always either on the
+   old path or on a legal old-prefix/new-suffix hybrid, and Thm. 1-4
+   hold throughout.  The flow's version counter is NOT rolled back: the
+   aborted version stays burned, so the next update strictly supersedes
+   every staged remnant of it. *)
+(* ------------------------------------------------------------------ *)
+
+let abort_update ?(reason = "operator") t ~flow_id =
+  match (find_flow t ~flow_id, Hashtbl.find_opt t.last_pushed flow_id) with
+  | Some flow, Some p
+    when flow.version = p.p_version
+         && completion_time t ~flow_id ~version:p.p_version = None
+         && Option.value (Hashtbl.find_opt t.aborted flow_id) ~default:0 < p.p_version
+    ->
+    let version = p.p_version in
+    Hashtbl.replace t.aborted flow_id version;
+    (match t.recovery with
+     | Some rc -> Obs.Metrics.incr rc.rc_aborts
+     | None -> ());
+    (if Obs.Trace.enabled () then begin
+       Obs.Trace.instant ~cat:"recovery" "recovery.abort"
+         ~parent:(Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
+         ~attrs:
+           [
+             Obs.Trace.flow flow_id;
+             Obs.Trace.version version;
+             Obs.Trace.str "reason" reason;
+           ];
+       (* Indications dropped in flight leave their spans anchored; the
+          abort is where those flights end. *)
+       List.iter
+         (fun (node, _) ->
+           Obs.Trace.span_end
+             (Obs.Trace.anchor_pop (Wire.span_key_uim ~flow_id ~version ~node))
+             ~attrs:[ Obs.Trace.str "outcome" "aborted" ])
+         p.p_uims;
+       Obs.Trace.span_end
+         (Obs.Trace.anchor_pop (Wire.span_key_update ~flow_id ~version))
+         ~attrs:[ Obs.Trace.str "outcome" "aborted" ]
+     end);
+    (* Withdraw the staged state along the pushed path.  Committed nodes
+       ignore the message; their rules stay until a higher version
+       supersedes them. *)
+    List.iter
+      (fun (node, _) ->
+        Netsim.controller_transmit t.net ~to_:node
+          (Wire.control_to_bytes
+             { (Wire.control_default Wire.Wdm) with flow_id; version_new = version }))
+      (List.rev p.p_uims);
+    flow.path <- p.p_old_path;
+    true
+  | _ -> false
+
+(* Exhaustion (or deadline): count the give-up, then abort. *)
+let give_up t rc ~flow_id ~version ~why =
+  Obs.Metrics.incr rc.rc_give_ups;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"recovery" "recovery.give_up"
+      ~parent:(Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
+      ~attrs:
+        [ Obs.Trace.flow flow_id; Obs.Trace.version version; Obs.Trace.str "why" why ];
+  ignore (abort_update ~reason:why t ~flow_id)
+
+(* ------------------------------------------------------------------ *)
 (* Update execution and the §11 recovery loop.
 
    [push] arms a per-flow timeout when recovery is enabled.  On expiry
@@ -289,6 +396,13 @@ let rec push t prepared =
      flow.last_type <- prepared.p_type
    | None -> ());
   Hashtbl.replace t.last_pushed prepared.p_flow prepared;
+  (* Observers (the traffic auditor) hear about EVERY push — including
+     the recovery loop's internal reroutes and resyncs, which never pass
+     through a caller's hands; without this their paths would be invisible
+     to per-packet classification. *)
+  List.iter
+    (fun f -> f ~flow_id:prepared.p_flow ~version:prepared.p_version)
+    t.push_hooks;
   (* Root span of the update's causal tree; ended by the success UFM. *)
   if Obs.Trace.enabled () then
     Obs.Trace.anchor_set
@@ -303,7 +417,20 @@ let rec push t prepared =
              Obs.Trace.int "nodes" (List.length prepared.p_uims);
            ]);
   send_uims t prepared;
-  arm_recovery t ~flow_id:prepared.p_flow ~version:prepared.p_version ~attempt:0
+  arm_recovery t ~flow_id:prepared.p_flow ~version:prepared.p_version ~attempt:0;
+  (* Operator deadline: an absolute abort timer per pushed update. *)
+  (match t.recovery with
+   | Some { rc_deadline_ms = Some deadline; _ } ->
+     let flow_id = prepared.p_flow and version = prepared.p_version in
+     Sim.schedule (Netsim.sim t.net) ~delay:deadline (fun () ->
+         match (t.recovery, find_flow t ~flow_id) with
+         | Some rc, Some flow
+           when flow.version = version
+                && completion_time t ~flow_id ~version = None
+                && Option.value (Hashtbl.find_opt t.aborted flow_id) ~default:0 < version
+           -> give_up t rc ~flow_id ~version ~why:"deadline"
+         | _ -> ())
+   | Some { rc_deadline_ms = None; _ } | None -> ())
 
 and update_flow t ~flow_id ~new_path ?update_type ?two_phase () =
   let prepared = prepare t ~flow_id ~new_path ?update_type ?two_phase () in
@@ -319,12 +446,25 @@ and arm_recovery t ~flow_id ~version ~attempt =
         match find_flow t ~flow_id with
         | Some flow
           when flow.version = version
-               && completion_time t ~flow_id ~version = None ->
-          if not (path_alive t flow.path) then reroute t flow
-          else if attempt < rc.rc_max_retries then begin
+               && completion_time t ~flow_id ~version = None
+               && Option.value (Hashtbl.find_opt t.aborted flow_id) ~default:0 < version
+          ->
+          if attempt >= rc.rc_max_retries then
+            (* Retries exhausted: no silent drop — give up explicitly and
+               roll the flow back to its old path. *)
+            give_up t rc ~flow_id ~version ~why:"retries-exhausted"
+          else if not (path_alive t flow.path) then begin
+            reroute t flow;
+            (* Reroute found no surviving alternative (version unchanged):
+               keep the clock running so the update eventually aborts
+               instead of wedging half-deployed forever. *)
+            if flow.version = version then
+              arm_recovery t ~flow_id ~version ~attempt:(attempt + 1)
+          end
+          else begin
             (match Hashtbl.find_opt t.last_pushed flow_id with
              | Some p when p.p_version = version ->
-               rc.rc_stats.retransmissions <- rc.rc_stats.retransmissions + 1;
+               Obs.Metrics.incr rc.rc_retransmissions;
                if Obs.Trace.enabled () then
                  Obs.Trace.instant ~cat:"recovery" "recovery.retransmit"
                    ~parent:
@@ -352,7 +492,7 @@ and reroute t (flow : flow) =
        Topo.Graph.shortest_path_avoiding g ~src:flow.src ~dst:flow.dst ~node_ok ~edge_ok
      with
      | Some new_path when new_path <> flow.path ->
-       rc.rc_stats.reroutes <- rc.rc_stats.reroutes + 1;
+       Obs.Metrics.incr rc.rc_reroutes;
        if Obs.Trace.enabled () then
          Obs.Trace.instant ~cat:"recovery" "recovery.reroute"
            ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
@@ -369,7 +509,7 @@ and resync t (flow : flow) =
   match t.recovery with
   | None -> ()
   | Some rc ->
-    rc.rc_stats.resyncs <- rc.rc_stats.resyncs + 1;
+    Obs.Metrics.incr rc.rc_resyncs;
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~cat:"recovery" "recovery.resync"
         ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
@@ -378,11 +518,16 @@ and resync t (flow : flow) =
 (* A restored link makes a stalled update viable again: retransmit (the
    backoff timers may have run out while the path was dead). *)
 and kick t (flow : flow) =
-  if completion_time t ~flow_id:flow.flow_id ~version:flow.version = None then
+  (* An aborted version stays aborted: a restored link must not resurrect
+     the withdrawn staged state (the switches would reject it anyway). *)
+  if
+    completion_time t ~flow_id:flow.flow_id ~version:flow.version = None
+    && Option.value (Hashtbl.find_opt t.aborted flow.flow_id) ~default:0 < flow.version
+  then
     if path_alive t flow.path then begin
       (match t.recovery, Hashtbl.find_opt t.last_pushed flow.flow_id with
        | Some rc, Some p when p.p_version = flow.version ->
-         rc.rc_stats.retransmissions <- rc.rc_stats.retransmissions + 1;
+         Obs.Metrics.incr rc.rc_retransmissions;
          send_uims t p;
          arm_recovery t ~flow_id:flow.flow_id ~version:flow.version ~attempt:1
        | _ -> ())
@@ -409,7 +554,12 @@ let fingerprint t =
     |> List.sort compare
     |> List.fold_left (fun acc x -> (acc * 31) lxor x) 7
   in
-  (flow_part * 131) lxor retrigger_part lxor (t.alarms * 97)
+  let aborted_part =
+    Hashtbl.fold (fun k v acc -> Hashtbl.hash (k, v) :: acc) t.aborted []
+    |> List.sort compare
+    |> List.fold_left (fun acc x -> (acc * 31) lxor x) 11
+  in
+  (flow_part * 131) lxor retrigger_part lxor (aborted_part * 13) lxor (t.alarms * 97)
 
 let flows_affected t ~uses = List.filter (fun f -> uses f.path) (flows_sorted t)
 
@@ -422,17 +572,41 @@ let handle_topo_event t = function
   | Netsim.Link_up (u, v) ->
     List.iter (kick t) (flows_affected t ~uses:(fun p -> path_uses_link p u v))
 
-let enable_recovery ?(timeout_ms = 500.0) ?(max_retries = 6) t =
+let enable_recovery ?(timeout_ms = 500.0) ?(max_retries = 6) ?deadline_ms t =
   if t.recovery = None then begin
+    let m = Netsim.metrics t.net in
     t.recovery <-
       Some
         {
           rc_timeout_ms = timeout_ms;
           rc_max_retries = max_retries;
-          rc_stats = { retransmissions = 0; reroutes = 0; resyncs = 0 };
+          rc_deadline_ms = deadline_ms;
+          rc_retransmissions = Obs.Metrics.counter m "recovery.retransmissions";
+          rc_reroutes = Obs.Metrics.counter m "recovery.reroutes";
+          rc_resyncs = Obs.Metrics.counter m "recovery.resyncs";
+          rc_aborts = Obs.Metrics.counter m "recovery.aborts";
+          rc_give_ups = Obs.Metrics.counter m "recovery.give_ups";
         };
     Netsim.on_topology_event t.net (handle_topo_event t)
   end
+
+(* Forget a flow entirely (soak churn): the Flow DB, push history and
+   abort/retrigger bookkeeping are dropped so long-horizon runs return to
+   their baseline footprint between bursts.  Installed data-plane rules
+   stay — a stale rule can never violate the consistency invariants, and
+   cleanup packets already released any reservations that matter. *)
+let retire_flow t ~flow_id =
+  let remove_flow_keys h =
+    let keys =
+      Hashtbl.fold (fun ((f, _) as k) _ acc -> if f = flow_id then k :: acc else acc) h []
+    in
+    List.iter (Hashtbl.remove h) keys
+  in
+  Hashtbl.remove t.flow_db flow_id;
+  Hashtbl.remove t.last_pushed flow_id;
+  Hashtbl.remove t.aborted flow_id;
+  remove_flow_keys t.retriggers;
+  remove_flow_keys t.retrigger_times
 
 (* A new flow reported by the data plane (§6): compute a shortest path and
    deploy it egress-first with SL, so rules exist downstream before any
@@ -455,7 +629,10 @@ let route_new_flow t (c : Wire.control) =
    the egress regenerates the notification chain. *)
 let retrigger t (c : Wire.control) =
   match Hashtbl.find_opt t.last_pushed c.flow_id with
-  | Some prepared when prepared.p_version = c.version_new ->
+  | Some prepared
+    when prepared.p_version = c.version_new
+         && Option.value (Hashtbl.find_opt t.aborted c.flow_id) ~default:0
+            < c.version_new ->
     let key = (c.flow_id, c.version_new) in
     let count = Option.value (Hashtbl.find_opt t.retriggers key) ~default:0 in
     let now = Sim.now (Netsim.sim t.net) in
@@ -508,6 +685,23 @@ let install_handler t =
                   (Wire.span_key_update ~flow_id:c.flow_id ~version:c.version_new))
                ~attrs:[ Obs.Trace.int "ingress" from ]
          end);
+        (* §11 abort racing a late success: the ingress committed before
+           the withdraw reached it.  Downstream-first ordering means the
+           whole path is then committed at this version — the withdraws
+           were no-ops everywhere — so the update in fact succeeded:
+           rescind the abort and restore the pushed path. *)
+        (if report.r_status = Wire.ufm_success then
+           match Hashtbl.find_opt t.aborted c.flow_id with
+           | Some v when v = c.version_new -> (
+             Hashtbl.remove t.aborted c.flow_id;
+             match (find_flow t ~flow_id:c.flow_id, Hashtbl.find_opt t.last_pushed c.flow_id) with
+             | Some flow, Some p when flow.version = v && p.p_version = v ->
+               flow.path <- List.map fst p.p_uims;
+               if Obs.Trace.enabled () then
+                 Obs.Trace.instant ~cat:"recovery" "recovery.abort_rescinded"
+                   ~attrs:[ Obs.Trace.flow c.flow_id; Obs.Trace.version v ]
+             | _ -> ())
+           | Some _ | None -> ());
         t.report_log <- report :: t.report_log;
         List.iter (fun f -> f report) t.report_hooks;
         if report.r_status = Wire.ufm_alarm_timeout then begin
@@ -529,6 +723,7 @@ let create network =
       flow_db = Hashtbl.create 64;
       report_log = [];
       report_hooks = [];
+      push_hooks = [];
       alarms = 0;
       auto_route = true;
       auto_retrigger = false;
@@ -537,6 +732,7 @@ let create network =
       last_pushed = Hashtbl.create 32;
       retriggers = Hashtbl.create 32;
       retrigger_times = Hashtbl.create 32;
+      aborted = Hashtbl.create 16;
       prep = None;
     }
   in

@@ -27,6 +27,8 @@ type prepared = {
   p_type : Wire.update_type;
   p_uims : (int * Wire.control) list;  (** destination node, message *)
   p_segments : Segment.t option;       (** present for DL updates *)
+  p_old_path : int list;
+      (** the path this update moves away from — what an abort reverts to *)
 }
 
 (** An UFM as recorded by the controller. *)
@@ -38,11 +40,16 @@ type report = {
   r_time : float;
 }
 
-(** Counters of the §11 recovery loop (see {!enable_recovery}). *)
+(** Snapshot of the §11 recovery counters (see {!enable_recovery}).  The
+    live counters sit in the network's [Obs.Metrics] registry under
+    [recovery.retransmissions] etc., so Traced / Chaos / Soak all read
+    one source; this record is a point-in-time copy. *)
 type recovery_stats = {
-  mutable retransmissions : int; (** idempotent UIM re-sends *)
-  mutable reroutes : int;        (** re-label/re-segment around a failure *)
-  mutable resyncs : int;         (** UIB re-syncs after a switch restart *)
+  retransmissions : int; (** idempotent UIM re-sends *)
+  reroutes : int;        (** re-label/re-segment around a failure *)
+  resyncs : int;         (** UIB re-syncs after a switch restart *)
+  aborts : int;          (** updates withdrawn and rolled back (§11 abort) *)
+  give_ups : int;        (** retry/deadline exhaustions that triggered an abort *)
 }
 
 val create : Netsim.t -> t
@@ -157,6 +164,14 @@ val completion_time : t -> flow_id:int -> version:int -> float option
 (** [on_report t f] registers a hook called on every incoming UFM. *)
 val on_report : t -> (report -> unit) -> unit
 
+(** [on_push t f] registers a hook called right after {e every}
+    {!push} — including the recovery loop's internal reroutes, resyncs
+    and auto-routed new flows — once the Flow DB already shows the new
+    version and path.  The traffic auditor subscribes here so its
+    per-flow version history never misses a path the plane is actually
+    switching to. *)
+val on_push : t -> (flow_id:int -> version:int -> unit) -> unit
+
 (** Number of alarm UFMs received. *)
 val alarm_count : t -> int
 
@@ -174,11 +189,41 @@ val alarm_count : t -> int
       re-labelled and re-segmented onto a shortest surviving path;
     - when a switch restarts ({!Netsim.Node_up}), every flow through it is
       re-deployed at a fresh version, re-syncing the blank UIB from the
-      controller's NIB. *)
-val enable_recovery : ?timeout_ms:float -> ?max_retries:int -> t -> unit
+      controller's NIB;
+    - when [max_retries] is exhausted (or [deadline_ms] passes after a
+      push) with no success UFM and no surviving reroute, the update is
+      {e aborted}: withdrawn from the data plane and rolled back (see
+      {!abort_update}) instead of being silently dropped. *)
+val enable_recovery :
+  ?timeout_ms:float -> ?max_retries:int -> ?deadline_ms:float -> t -> unit
 
 (** Recovery counters, when {!enable_recovery} was called. *)
 val recovery_stats : t -> recovery_stats option
+
+(** {2 §11 abort / rollback}
+
+    [abort_update t ~flow_id] gives up on the flow's in-flight update: a
+    withdraw (WDM) tells every node of the pushed path to discard staged
+    new-version UIB state, and the Flow DB reverts to the old path.  Safe
+    because old rules persist until final verification — uncommitted
+    nodes still forward on the old version, and committed nodes have (by
+    downstream-first ordering) a committed chain to the egress, so
+    Thm. 1-4 hold across the abort.  Returns [false] (and does nothing)
+    when there is no in-flight update, it already completed, or this
+    version was already aborted — abort is idempotent and
+    version-checked.  A success UFM that raced the withdraw and still
+    lands rescinds the abort: the path was in fact committed end to end.
+    The recovery loop calls this on retry/deadline exhaustion. *)
+val abort_update : ?reason:string -> t -> flow_id:int -> bool
+
+(** Highest aborted (not rescinded) version of a flow, if any. *)
+val aborted_version : t -> flow_id:int -> int option
+
+(** [retire_flow t ~flow_id] forgets the flow — Flow DB, push history and
+    abort/retrigger bookkeeping — so long-horizon workloads (soak churn)
+    return to their baseline footprint.  Installed data-plane rules stay;
+    a stale rule cannot violate the consistency invariants. *)
+val retire_flow : t -> flow_id:int -> unit
 
 (** [install_handler t] wires the controller into the network (listens
     for FRM/UFM).  Called by {!create}; exposed for tests that re-attach. *)

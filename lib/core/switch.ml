@@ -15,6 +15,7 @@ type stats = {
   mutable alarms : int;
   mutable waits : int;
   mutable congestion_defers : int;
+  mutable withdrawals : int;
 }
 
 (* A forwarding-rule commit staged behind the platform's rule-update
@@ -183,6 +184,7 @@ and fire_commit t flow_id (pc : pending_commit) =
     pc.pc_cancelled
     || (not (Netsim.node_is_up t.net ~node:t.node))
     || Uib.ver_cur u flow_id >= pc.pc_version
+    || Uib.withdrawn_version u flow_id >= pc.pc_version
   then begin
     Obs.Trace.span_end pc.pc_span ~attrs:[ Obs.Trace.str "outcome" "cancelled" ];
     Hashtbl.remove t.pending flow_id
@@ -441,6 +443,7 @@ let handle_uim t ctx (c : Wire.control) =
        Sim.schedule (Netsim.sim t.net) ~delay:timeout_ms (fun () ->
            if Uib.ver_cur t.uib flow_id < c.version_new
               && Uib.uim_version t.uib flow_id = c.version_new
+              && Uib.withdrawn_version t.uib flow_id < c.version_new
            then begin
              t.stats.alarms <- t.stats.alarms + 1;
              notify_ctl t
@@ -484,6 +487,7 @@ let handle_uim t ctx (c : Wire.control) =
        Sim.schedule (Netsim.sim t.net) ~delay:timeout_ms (fun () ->
            if Uib.ver_cur t.uib flow_id < c.version_new
               && Uib.uim_version t.uib flow_id = c.version_new
+              && Uib.withdrawn_version t.uib flow_id < c.version_new
            then begin
              t.stats.alarms <- t.stats.alarms + 1;
              notify_ctl t
@@ -575,7 +579,7 @@ let decision_name = function
   | Verify.Reject_distance -> "reject_distance"
   | Verify.Ignore -> "ignore"
 
-let handle_unm t ctx (c : Wire.control) =
+let handle_unm_verified t ctx (c : Wire.control) =
   let u = t.uib in
   let flow_id = c.flow_id in
   Pipeline.mark_to_drop ctx;
@@ -672,6 +676,59 @@ let handle_unm t ctx (c : Wire.control) =
     alarm t ctx ~flow_id ~version:c.version_new ~status:Wire.ufm_alarm_distance
   | Verify.Ignore -> ()
 
+(* §11 abort: a notification for a withdrawn, uncommitted version is dead
+   on arrival — re-verifying it would resurrect the staged state the
+   controller just discarded.  Committed versions are untouchable (the
+   withdraw itself refuses them), so this check can only suppress a
+   commit that has not happened yet. *)
+let handle_unm t ctx (c : Wire.control) =
+  let u = t.uib in
+  if
+    Uib.withdrawn_version u c.flow_id >= c.version_new
+    && Uib.ver_cur u c.flow_id < c.version_new
+  then begin
+    Pipeline.mark_to_drop ctx;
+    Obs.Trace.span_end
+      (Obs.Trace.anchor_pop
+         (Wire.span_key_unm ~flow_id:c.flow_id ~version:c.version_new ~node:c.src_node))
+      ~attrs:[ Obs.Trace.str "decision" "withdrawn" ]
+  end
+  else handle_unm_verified t ctx c
+
+(* §11 abort: the controller withdraws a staged (uncommitted) update.
+   Already-committed versions ignore the message — their rules are part
+   of a verified chain and stay until a higher version supersedes them.
+   Otherwise the withdraw floor in the UIB kills the staged indication,
+   any pending commit, and blocks late duplicates (UIM/UNM) of the
+   aborted version from resurrecting it. *)
+let handle_withdraw t ctx (c : Wire.control) =
+  let u = t.uib in
+  let flow_id = c.flow_id in
+  let version = c.version_new in
+  Pipeline.mark_to_drop ctx;
+  if Uib.ver_cur u flow_id < version then begin
+    let had_staged = Uib.withdraw u flow_id ~version in
+    (match Hashtbl.find_opt t.pending flow_id with
+     | Some pc when pc.pc_version <= version -> pc.pc_cancelled <- true
+     | Some _ | None -> ());
+    Hashtbl.remove t.wait_counts flow_id;
+    Hashtbl.remove t.cong_counts flow_id;
+    (match Hashtbl.find_opt t.waiting_on flow_id with
+     | Some port ->
+       Congestion.clear_contention u ~port;
+       Hashtbl.remove t.waiting_on flow_id
+     | None -> ());
+    t.stats.withdrawals <- t.stats.withdrawals + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"switch" "withdraw" ~node:t.node ~parent:(root_span c)
+        ~attrs:
+          [
+            Obs.Trace.flow flow_id;
+            Obs.Trace.version version;
+            ("staged", Obs.Json.Bool had_staged);
+          ]
+  end
+
 (* A cleanup packet deletes the flow state of nodes abandoned by the
    update.  Nodes that participate in the update (their staged indication
    is at least as new) ignore it: their own commit manages the
@@ -709,6 +766,7 @@ let ingress_control t ctx =
      | Wire.Uim -> handle_uim t ctx c
      | Wire.Unm -> handle_unm t ctx c
      | Wire.Cln -> handle_cleanup t ctx c
+     | Wire.Wdm -> handle_withdraw t ctx c
      | Wire.Frm | Wire.Ufm -> Pipeline.mark_to_drop ctx (* switch is not their consumer *))
   | None ->
     (match Wire.data_of_packet pkt with
@@ -777,6 +835,7 @@ let create net ~node =
           alarms = 0;
           waits = 0;
           congestion_defers = 0;
+          withdrawals = 0;
         };
       commit_hooks = [];
       deliver_hooks = [];

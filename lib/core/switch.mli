@@ -22,6 +22,7 @@ type stats = {
   mutable alarms : int;          (** inconsistencies reported (Alg. 1 l.8/12) *)
   mutable waits : int;           (** resubmissions while waiting for a UIM *)
   mutable congestion_defers : int;
+  mutable withdrawals : int;     (** staged versions discarded by a WDM (§11 abort) *)
 }
 
 (** [create net ~node] builds the switch, initializes its per-port

@@ -27,6 +27,10 @@ type t = {
   tagged_port : Register.t;
   tagged_version : Register.t;
   stamp_tag : Register.t;
+  (* Abort plane: highest withdrawn version (§11 abort).  Staging at or
+     below this floor is rejected, so late duplicate UIMs of an aborted
+     update cannot resurrect it. *)
+  withdrawn_version : Register.t;
   (* Per-port capacity accounting. *)
   port_capacity : Register.t;
   reserved : Register.t;
@@ -61,6 +65,7 @@ let create ~ports =
     tagged_port = per_flow "tagged_port";
     tagged_version = per_flow "tagged_version";
     stamp_tag = per_flow "stamp_tag";
+    withdrawn_version = per_flow "withdrawn_version";
     port_capacity = per_port "port_capacity" ports;
     reserved = per_port "reserved" ports;
     waiters = per_port "waiters" ports;
@@ -72,7 +77,7 @@ let registers t =
     t.notify_port; t.flow_size; t.flow_priority; t.last_type; t.counter;
     t.uim_version; t.uim_distance; t.uim_egress; t.uim_notify; t.uim_role;
     t.uim_type; t.uim_size; t.ufm_sent; t.cleaned; t.chain_ok; t.tagged_port; t.tagged_version;
-    t.stamp_tag; t.port_capacity; t.reserved; t.waiters;
+    t.stamp_tag; t.withdrawn_version; t.port_capacity; t.reserved; t.waiters;
   ]
 
 (* A restarted switch comes back with factory-zero registers: every
@@ -129,8 +134,23 @@ let uim_role t fid = Register.read t.uim_role fid
 let uim_type t fid = Register.read t.uim_type fid
 let uim_size t fid = Register.read t.uim_size fid
 
+let withdrawn_version t fid = Register.read t.withdrawn_version fid
+
+(* Raise the withdraw floor to [version] (never lowered); no-op when the
+   version already committed.  Returns [true] when staged state for
+   exactly this version was present and is now dead. *)
+let withdraw t fid ~version =
+  if ver_cur t fid >= version then false
+  else begin
+    let had_staged = uim_version t fid = version in
+    if version > withdrawn_version t fid then
+      Register.write t.withdrawn_version fid version;
+    had_staged
+  end
+
 let stage_uim t fid (c : Wire.control) =
-  if c.version_new <= uim_version t fid then false
+  if c.version_new <= uim_version t fid || c.version_new <= withdrawn_version t fid
+  then false
   else begin
     Register.write t.uim_version fid c.version_new;
     Register.write t.uim_distance fid c.dist_new;

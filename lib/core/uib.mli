@@ -73,9 +73,20 @@ val uim_type : t -> int -> int
 val uim_size : t -> int -> int
 
 (** [stage_uim t flow_id uim] overwrites the staged state if the UIM
-    version is strictly higher than the staged one.  Returns [true] when
-    the message was accepted as the new highest indication. *)
+    version is strictly higher than the staged one (and above the
+    withdraw floor).  Returns [true] when the message was accepted as
+    the new highest indication. *)
 val stage_uim : t -> int -> Wire.control -> bool
+
+val withdrawn_version : t -> int -> int
+(** highest version the controller has withdrawn here (0 = none);
+    staged state at or below this floor is dead (§11 abort) *)
+
+(** [withdraw t flow_id ~version] raises the withdraw floor to
+    [version] unless that version is already committed ([ver_cur]).
+    Returns [true] when staged state for exactly [version] existed and
+    is now withdrawn. *)
+val withdraw : t -> int -> version:int -> bool
 
 (** {2 Congestion bookkeeping (per port, centi-units)} *)
 

@@ -8,9 +8,10 @@ let flow_space = 1024
 let port_none = 255
 let port_local = 254
 
-type msg_kind = Frm | Uim | Unm | Ufm | Cln
+type msg_kind = Frm | Uim | Unm | Ufm | Cln | Wdm
 
-let msg_kind_to_int = function Frm -> 1 | Uim -> 2 | Unm -> 3 | Ufm -> 4 | Cln -> 5
+let msg_kind_to_int = function
+  | Frm -> 1 | Uim -> 2 | Unm -> 3 | Ufm -> 4 | Cln -> 5 | Wdm -> 6
 
 let msg_kind_of_int = function
   | 1 -> Some Frm
@@ -18,6 +19,7 @@ let msg_kind_of_int = function
   | 3 -> Some Unm
   | 4 -> Some Ufm
   | 5 -> Some Cln
+  | 6 -> Some Wdm
   | _ -> None
 
 type update_type = Sl | Dl
@@ -216,6 +218,7 @@ let packet_of_bytes bytes =
 let pp_control fmt c =
   let kind_name = function
     | Frm -> "FRM" | Uim -> "UIM" | Unm -> "UNM" | Ufm -> "UFM" | Cln -> "CLN"
+    | Wdm -> "WDM"
   in
   Format.fprintf fmt
     "%s{flow=%d Vn=%d Vo=%d Dn=%d Do=%d type=%s layer=%d C=%d size=%d egr=%d ntf=%d role=%d \

@@ -21,7 +21,16 @@ val port_local : int
 
 (** {2 Message kinds (msg_type field)} *)
 
-type msg_kind = Frm | Uim | Unm | Ufm | Cln  (** rule-cleanup packet (§11) *)
+type msg_kind =
+  | Frm
+  | Uim
+  | Unm
+  | Ufm
+  | Cln  (** rule-cleanup packet (§11) *)
+  | Wdm
+      (** withdraw: controller aborts an update; path switches discard the
+          staged (uncommitted) state of [version_new].  Safe because old
+          rules persist until final verification (DESIGN §11). *)
 
 val msg_kind_to_int : msg_kind -> int
 val msg_kind_of_int : int -> msg_kind option

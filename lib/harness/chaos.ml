@@ -41,7 +41,7 @@ let default_config =
     control_fault_prob = 0.08;
     max_element_failures = 2;
     recovery = true;
-    watchdog_ms = 400.0;
+    watchdog_ms = Run_config.default_watchdog_ms;
   }
 
 type violation = Invariants.violation = {
@@ -60,6 +60,8 @@ type report = {
   r_retransmissions : int;
   r_reroutes : int;
   r_resyncs : int;
+  r_aborts : int;
+  r_give_ups : int;
   r_alarms : int;
   r_dropped_by_fault : int;
   r_dropped_by_failure : int;
@@ -315,6 +317,8 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
     r_retransmissions = get (fun s -> s.P4update.Controller.retransmissions);
     r_reroutes = get (fun s -> s.P4update.Controller.reroutes);
     r_resyncs = get (fun s -> s.P4update.Controller.resyncs);
+    r_aborts = get (fun s -> s.P4update.Controller.aborts);
+    r_give_ups = get (fun s -> s.P4update.Controller.give_ups);
     r_alarms = P4update.Controller.alarm_count w.World.controller;
     r_dropped_by_fault = stats.Netsim.dropped_by_fault;
     r_dropped_by_failure = stats.Netsim.dropped_by_failure;
@@ -388,12 +392,12 @@ let report_line r =
   in
   Printf.sprintf
     "chaos %-8s seed=%-3d %s: %d/%d converged (baseline %d/%d, %s vs %s), %d violations, \
-     retx=%d reroutes=%d resyncs=%d alarms=%d, drops fault=%d failure=%d, failures=%d, \
-     hash=%08x%s"
+     retx=%d reroutes=%d resyncs=%d aborts=%d give-ups=%d alarms=%d, drops fault=%d \
+     failure=%d, failures=%d, hash=%08x%s"
     (scenario_name r.r_scenario) r.r_seed verdict r.r_converged r.r_flows
     r.r_baseline_converged r.r_flows
     (completion r.r_completion_ms)
     (completion r.r_baseline_completion_ms)
-    (List.length r.r_violations) r.r_retransmissions r.r_reroutes r.r_resyncs r.r_alarms
-    r.r_dropped_by_fault r.r_dropped_by_failure r.r_element_failures r.r_trace_hash
-    traffic
+    (List.length r.r_violations) r.r_retransmissions r.r_reroutes r.r_resyncs r.r_aborts
+    r.r_give_ups r.r_alarms r.r_dropped_by_fault r.r_dropped_by_failure
+    r.r_element_failures r.r_trace_hash traffic

@@ -62,6 +62,8 @@ type report = {
   r_retransmissions : int;
   r_reroutes : int;
   r_resyncs : int;
+  r_aborts : int;    (** §11 aborts: updates withdrawn after exhausted recovery *)
+  r_give_ups : int;  (** recovery loops that ran out of retries or deadline *)
   r_alarms : int;
   r_dropped_by_fault : int;
   r_dropped_by_failure : int;
@@ -107,3 +109,18 @@ val run :
 
 (** One-line degradation summary. *)
 val report_line : report -> string
+
+(** {2 Fault-model building blocks}
+
+    Shared with the {!Soak} monitor so both harnesses apply the same
+    Ethernet-FCS corruption model and the same fault distribution. *)
+
+(** A frame whose payload parses as a {!P4update.Wire.control} message
+    (control-typed even when it travels the data plane, like UNMs). *)
+val is_control_frame : bytes -> bool
+
+(** Draw a {!Netsim.fault} verdict from the shared distribution (40%
+    drop / 30% delay / 15% corrupt / 15% duplicate among faulted
+    packets).  [~downgrade_corrupt] turns Corrupt into Drop — the FCS
+    model for control-typed frames. *)
+val draw_verdict : Dessim.Sim.t -> downgrade_corrupt:bool -> Netsim.fault

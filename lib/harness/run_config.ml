@@ -24,6 +24,10 @@ type fault_plan = {
   fp_watchdog_ms : float;
 }
 
+(* The one switch-watchdog default: every harness (chaos, soak) derives
+   from this constant instead of repeating the literal. *)
+let default_watchdog_ms = 400.0
+
 (* Values mirror [Chaos.default_config]; a regression test keeps the two
    in sync through [Chaos.config_of_plan]. *)
 let default_faults =
@@ -36,7 +40,7 @@ let default_faults =
     fp_control_prob = 0.08;
     fp_max_element_failures = 2;
     fp_recovery = true;
-    fp_watchdog_ms = 400.0;
+    fp_watchdog_ms = default_watchdog_ms;
   }
 
 type t = {

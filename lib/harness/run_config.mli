@@ -23,6 +23,10 @@ type fault_plan = {
   fp_watchdog_ms : float;        (** switch watchdog timeout *)
 }
 
+(** The single source of the switch-watchdog default (ms); chaos and soak
+    configurations derive from it. *)
+val default_watchdog_ms : float
+
 (** Same values as [Chaos.default_config]. *)
 val default_faults : fault_plan
 

@@ -73,6 +73,7 @@ type summary = {
   ts_mixed : int;
   ts_loops : int;
   ts_blackholes : int;
+  ts_excused : int;         (* blackholes waived by a drain excuse predicate *)
   ts_p50_ms : float;        (* delivery latency percentiles *)
   ts_p99_ms : float;
   ts_sim_ms : float;        (* simulated time at finalize *)
@@ -94,6 +95,7 @@ type pkt = {
   pk_seq : int;
   pk_dst : int;
   pk_version_at_inject : int; (* controller version of the flow at injection *)
+  pk_injected_at : float;     (* simulated injection instant *)
   mutable pk_hops : int list; (* visited nodes, newest first *)
   mutable pk_delivered_at : int; (* node, -1 while undelivered *)
   mutable pk_latency_ms : float; (* wire-carried ingress timestamp delta *)
@@ -119,10 +121,18 @@ type flow_state = {
 type t = {
   world : World.t;
   wl : workload;
+  mutable stop_ms : float;       (* injectors stop at this simulated time *)
   flows : (int, flow_state) Hashtbl.t;
-  flight : (int, pkt) Hashtbl.t; (* seq -> packet, kept after delivery *)
+  flight : (int, pkt) Hashtbl.t; (* seq -> packet, kept until drained *)
   mutable next_seq : int;
   mutable reordered : int;
+  (* incremental drain accumulators (seq order, so the digest is
+     independent of table iteration order and of drain batching) *)
+  mutable drained_upto : int;    (* every seq below this is accounted for *)
+  acc_counts : int array;        (* per-outcome totals *)
+  mutable acc_excused : int;
+  mutable acc_latencies : float list;
+  mutable acc_digest : int;
   (* metric handles in the network's registry *)
   m_injected : Obs.Metrics.counter;
   m_delivered : Obs.Metrics.counter;
@@ -207,6 +217,7 @@ let inject t flow_id (st : flow_state) =
       pk_seq = seq;
       pk_dst = st.fl_dst;
       pk_version_at_inject = st.fl_version;
+      pk_injected_at = now;
       pk_hops = [ st.fl_src ];
       pk_delivered_at = -1;
       pk_latency_ms = 0.0;
@@ -232,10 +243,13 @@ let gap t =
   if t.wl.tw_poisson then Sim.exponential sim ~mean:t.wl.tw_mean_gap_ms
   else t.wl.tw_mean_gap_ms
 
+(* A flow retired from the world (soak churn) stops probing: its stale
+   rules would still deliver, but auditing a forgotten flow forever
+   would grow the probe population without bound. *)
 let rec arm_injector t flow_id (st : flow_state) =
   let sim = t.world.World.sim in
   Sim.schedule sim ~delay:(gap t) (fun () ->
-      if Sim.now sim < t.wl.tw_stop_ms then begin
+      if Sim.now sim < t.stop_ms && World.find_flow t.world ~flow_id <> None then begin
         inject t flow_id st;
         arm_injector t flow_id st
       end
@@ -253,16 +267,32 @@ let start_flow t flow_id =
 
 (* ---- engine lifecycle ------------------------------------------------ *)
 
+let note_pushed t ~flow_id ~version =
+  match (Hashtbl.find_opt t.flows flow_id, World.find_flow t.world ~flow_id) with
+  | Some st, Some f ->
+    ignore version;
+    (* The controller's flow record already shows the pushed state. *)
+    record_version st ~version:f.P4update.Controller.version
+      ~path:f.P4update.Controller.path
+      ~dl:(f.P4update.Controller.last_type = P4update.Wire.Dl)
+  | _ -> ()
+
 let attach ?(workload = default_workload) (w : World.t) =
   let metrics = Netsim.metrics w.World.net in
   let t =
     {
       world = w;
       wl = workload;
+      stop_ms = workload.tw_stop_ms;
       flows = Hashtbl.create 256;
       flight = Hashtbl.create 4096;
       next_seq = 0;
       reordered = 0;
+      drained_upto = 0;
+      acc_counts = Array.make 5 0;
+      acc_excused = 0;
+      acc_latencies = [];
+      acc_digest = 0x1505;
       m_injected = Obs.Metrics.counter metrics "traffic.injected";
       m_delivered = Obs.Metrics.counter metrics "traffic.delivered";
       m_reordered = Obs.Metrics.counter metrics "traffic.reordered";
@@ -280,19 +310,23 @@ let attach ?(workload = default_workload) (w : World.t) =
     (fun (f : P4update.Controller.flow) ->
       Hashtbl.replace t.flows f.P4update.Controller.flow_id (flow_state_of f))
     (World.flows w);
+  (* Subscribe to every controller push — explicit caller pushes AND the
+     recovery loop's internal reroutes/resyncs — so the version history
+     never misses a path the plane is switching to.  record_version is
+     idempotent per version, so callers that also report pushes through
+     the Scale hooks cost nothing extra. *)
+  P4update.Controller.on_push w.World.controller (fun ~flow_id ~version ->
+      note_pushed t ~flow_id ~version);
   t
 
 let start t = Hashtbl.iter (fun flow_id _ -> start_flow t flow_id) t.flows
 
-let note_pushed t ~flow_id ~version =
-  match (Hashtbl.find_opt t.flows flow_id, World.find_flow t.world ~flow_id) with
-  | Some st, Some f ->
-    ignore version;
-    (* The controller's flow record already shows the pushed state. *)
-    record_version st ~version:f.P4update.Controller.version
-      ~path:f.P4update.Controller.path
-      ~dl:(f.P4update.Controller.last_type = P4update.Wire.Dl)
-  | _ -> ()
+(* Extend (or resume) injection until [stop_ms]: used by the soak monitor
+   to run probe bursts cycle after cycle on one engine.  Idle injectors
+   are re-armed; running ones just see the later deadline. *)
+let inject_until t ~stop_ms =
+  t.stop_ms <- stop_ms;
+  start t
 
 let note_admitted t ~flow_id = start_flow t flow_id
 
@@ -345,31 +379,53 @@ let classify (st : flow_state) (pk : pkt) =
 
 let hash_combine h x = ((h * 1000003) lxor x) land 0x3FFFFFFF
 
-let finalize ?(wall_s = 0.0) t =
-  let injected = t.next_seq in
-  let counts = Array.make 5 0 in
-  let latencies = ref [] in
-  let digest = ref 0x1505 in
-  (* Seq order makes the digest independent of table iteration order. *)
-  for seq = 0 to injected - 1 do
+(* Classify and retire every packet injected so far.  Call at quiet
+   instants only (the plane drained: every such packet is terminal), so
+   the soak monitor can account for millions of probes cycle by cycle
+   while the flight table returns to empty between bursts — the leak
+   check depends on that.  Seq order keeps the running digest independent
+   of drain batching: one drain at the end and N incremental drains
+   produce identical summaries.  [?excuse flow ~injected_at] may waive a
+   blackhole (e.g. injected into a window where the flow's path had a
+   failed element); waived packets count as [ts_excused], not as
+   violations. *)
+let drain ?excuse t =
+  for seq = t.drained_upto to t.next_seq - 1 do
     match Hashtbl.find_opt t.flight seq with
     | None -> ()
     | Some pk ->
+      Hashtbl.remove t.flight seq;
       let cls =
         match Hashtbl.find_opt t.flows pk.pk_flow with
         | Some st -> classify st pk
         | None -> Blackhole
       in
-      counts.(outcome_to_int cls) <- counts.(outcome_to_int cls) + 1;
-      if pk.pk_delivered_at >= 0 then latencies := pk.pk_latency_ms :: !latencies;
-      digest :=
-        hash_combine !digest
+      let excused =
+        cls = Blackhole
+        && (match excuse with
+           | Some f -> f pk.pk_flow ~injected_at:pk.pk_injected_at
+           | None -> false)
+      in
+      if excused then t.acc_excused <- t.acc_excused + 1
+      else t.acc_counts.(outcome_to_int cls) <- t.acc_counts.(outcome_to_int cls) + 1;
+      if pk.pk_delivered_at >= 0 then
+        t.acc_latencies <- pk.pk_latency_ms :: t.acc_latencies;
+      t.acc_digest <-
+        hash_combine t.acc_digest
           (Hashtbl.hash
              ( pk.pk_flow, pk.pk_seq, outcome_to_int cls, pk.pk_hops,
                int_of_float ((pk.pk_latency_ms *. 1000.0) +. 0.5) ))
   done;
+  t.drained_upto <- t.next_seq
+
+let in_flight t = Hashtbl.length t.flight
+
+let finalize ?(wall_s = 0.0) t =
+  drain t;
+  let injected = t.next_seq in
+  let counts = t.acc_counts in
   let delivered = counts.(0) + counts.(1) + counts.(2) in
-  let samples = !latencies in
+  let samples = t.acc_latencies in
   {
     ts_injected = injected;
     ts_delivered = delivered;
@@ -380,12 +436,13 @@ let finalize ?(wall_s = 0.0) t =
     ts_mixed = counts.(outcome_to_int Mixed);
     ts_loops = counts.(outcome_to_int Loop);
     ts_blackholes = counts.(outcome_to_int Blackhole);
+    ts_excused = t.acc_excused;
     ts_p50_ms = Option.value ~default:0.0 (Stats.percentile_opt 50.0 samples);
     ts_p99_ms = Option.value ~default:0.0 (Stats.percentile_opt 99.0 samples);
     ts_sim_ms = Sim.now t.world.World.sim;
     ts_wall_s = wall_s;
     ts_pkts_per_s = (if wall_s > 0.0 then float_of_int injected /. wall_s else 0.0);
-    ts_digest = !digest;
+    ts_digest = t.acc_digest;
   }
 
 (* ---- combined runner: traffic racing the scale engine ---------------- *)
@@ -410,8 +467,8 @@ let pp ppf s =
     "@[<v>traffic: %d injected, %d delivered (%d dropped, %d reordered) in %.1f ms \
      simulated@,\
      outcomes: %d old-path  %d new-path  %d mixed  %d loops  %d blackholes  \
-     (%d violations)@,\
+     %d excused  (%d violations)@,\
      latency p50 %.3f ms  p99 %.3f ms   %.0f pkts/s   digest %08x@]"
     s.ts_injected s.ts_delivered s.ts_dropped s.ts_reordered s.ts_sim_ms s.ts_old_path
-    s.ts_new_path s.ts_mixed s.ts_loops s.ts_blackholes (violations s) s.ts_p50_ms
-    s.ts_p99_ms s.ts_pkts_per_s s.ts_digest
+    s.ts_new_path s.ts_mixed s.ts_loops s.ts_blackholes s.ts_excused (violations s)
+    s.ts_p50_ms s.ts_p99_ms s.ts_pkts_per_s s.ts_digest

@@ -50,6 +50,7 @@ type summary = {
   ts_mixed : int;
   ts_loops : int;
   ts_blackholes : int;
+  ts_excused : int;       (** blackholes waived by a {!drain} excuse predicate *)
   ts_p50_ms : float;
   ts_p99_ms : float;
   ts_sim_ms : float;
@@ -71,6 +72,15 @@ val attach : ?workload:workload -> World.t -> t
 (** Arm one injector per known flow (idempotent per flow). *)
 val start : t -> unit
 
+(** Arm (or re-arm, if it went idle) the injector of one flow. *)
+val start_flow : t -> int -> unit
+
+(** Extend or resume injection until [stop_ms] (simulated).  The soak
+    monitor uses this to run probe bursts cycle after cycle on a single
+    engine: idle injectors are re-armed, running ones simply observe the
+    later deadline. *)
+val inject_until : t -> stop_ms:float -> unit
+
 (** Record a pushed update: the controller's flow record (already showing
     the new version and path) extends the flow's version history. *)
 val note_pushed : t -> flow_id:int -> version:int -> unit
@@ -81,10 +91,25 @@ val note_admitted : t -> flow_id:int -> unit
 (** The engine's hooks in {!Scale.run} form. *)
 val scale_hooks : t -> Scale.hooks
 
-(** Classify every injected packet and summarise.  Call once the plane
-    has drained ([World.run] returned with an empty heap); undelivered
-    packets classify as [Blackhole].  [wall_s] (when the caller timed
-    the run) prices [ts_pkts_per_s]. *)
+(** Classify and retire every packet injected so far, folding it into
+    the running totals that {!finalize} reports.  Call at quiet instants
+    only (the plane drained, so every such packet is terminal); the
+    flight table returns to empty, which is what lets a soak run audit
+    millions of probes in bounded memory — and what its leak check
+    verifies.  Drain batching is unobservable: one drain at the end and
+    [N] incremental drains produce identical summaries, digest included.
+    [?excuse flow ~injected_at] may waive a blackhole (e.g. the packet
+    was injected while an element of the flow's path was failed); waived
+    packets count as [ts_excused], not as violations. *)
+val drain : ?excuse:(int -> injected_at:float -> bool) -> t -> unit
+
+(** Packets injected but not yet retired by {!drain} — the leak probe. *)
+val in_flight : t -> int
+
+(** Drain the remainder and summarise the whole run.  Call once the
+    plane has drained ([World.run] returned with an empty heap);
+    undelivered packets classify as [Blackhole].  [wall_s] (when the
+    caller timed the run) prices [ts_pkts_per_s]. *)
 val finalize : ?wall_s:float -> t -> summary
 
 (** [run_scale ?scale_workload ?workload cfg topo] races probe traffic

@@ -196,6 +196,38 @@ let build_stale_label cfg =
     cx_horizon_ms = 500.0;
   }
 
+(* §11 abort racing the update's own completion: one SL update is
+   pushed and, mid-flight, the controller aborts it.  Depending on the
+   delivery order the WDM beats or loses to any subset of staged
+   commits and the success UFM: the update may end rescinded (the
+   success landed — flow on the new path) or aborted (flow reverted to
+   the old path, staged state discarded).  Both end states are legal;
+   what every interleaving must preserve is Thm. 1-4 — no loop, no
+   blackhole, per-packet coherence — which is exactly what
+   [cx_expect = None] checks. *)
+let abort_race_delay_ms = 2.0
+
+let build_abort_race cfg =
+  let w =
+    make_world cfg (Topologies.fig2 ())
+      ~flows:[ World.flow ~src:0 ~dst:4 ~path:Topologies.fig2_config_a () ]
+  in
+  let monitor = Harness.Invariants.create w in
+  let flow = Option.get (World.flow_of_pair w ~src:0 ~dst:4) in
+  let fid = flow.P4update.Controller.flow_id in
+  ignore
+    (P4update.Controller.update_flow w.World.controller ~flow_id:fid
+       ~new_path:Topologies.fig2_config_b ~update_type:P4update.Wire.Sl ());
+  Sim.schedule w.World.sim ~delay:abort_race_delay_ms (fun () ->
+      ignore (P4update.Controller.abort_update w.World.controller ~flow_id:fid));
+  {
+    cx_world = w;
+    cx_monitor = monitor;
+    cx_flows = [ flow ];
+    cx_expect = None;
+    cx_horizon_ms = 500.0;
+  }
+
 let all =
   [
     {
@@ -225,6 +257,13 @@ let all =
       sc_window_ms = 3.0;
       sc_toggle = Inside_segment;
       sc_build = build_stale_label;
+    };
+    {
+      sc_name = "abort-race";
+      sc_descr = "WDM withdraw races staged commits and the success UFM (sec. 11)";
+      sc_window_ms = 2.0;
+      sc_toggle = No_toggle;
+      sc_build = build_abort_race;
     };
   ]
 

@@ -140,6 +140,12 @@ let anchor_pop key =
 let anchor_del key =
   match !current with None -> () | Some s -> Hashtbl.remove s.anchors key
 
+(* Outstanding anchors in the installed sink: a leak probe.  Every span
+   handed off across the wire should be popped by a terminal handler, so
+   a quiesced plane leaves this at zero. *)
+let anchor_count () =
+  match !current with None -> 0 | Some s -> Hashtbl.length s.anchors
+
 (* --- introspection --- *)
 
 let events s = List.rev s.events

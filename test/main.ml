@@ -27,4 +27,5 @@ let () =
       ("mc", Test_mc.suite);
       ("scale", Test_scale.suite);
       ("traffic", Test_traffic.suite);
+      ("soak", Test_soak.suite);
     ]
