@@ -7,54 +7,75 @@
              dune exec bench/main.exe -- scale   (scale subsuite -> BENCH_scale.json)
              dune exec bench/main.exe -- traffic (traffic audit -> BENCH_traffic.json)
              dune exec bench/main.exe -- soak    (soak monitor -> BENCH_soak.json)
+             dune exec bench/main.exe -- obs     (observability overhead -> BENCH_obs.json)
+             dune exec bench/main.exe -- check --baseline B.json --current C.json
 
    With [--json FILE] every headline number is additionally written to
    FILE as an array of {"name", "unit", "value"} rows, one per metric —
-   the format CI trend dashboards ingest.  The [scale], [traffic] and
-   [soak] subsuites always write rows (default files BENCH_scale.json,
-   BENCH_traffic.json and BENCH_soak.json). *)
+   the [Obs.Rows] format CI trend dashboards ingest.  The [scale],
+   [traffic], [soak] and [obs] subsuites always write rows (default files
+   BENCH_scale.json, BENCH_traffic.json, BENCH_soak.json, BENCH_obs.json).
+
+   The regression gate: [--check BASELINE.json] compares this run's rows
+   against a pinned baseline with per-metric tolerance bands and exits 3
+   on any regression; [--baseline-out FILE] pins the current rows as a
+   new baseline (loose bands stamped on wall-clock units).  The
+   standalone [check] mode compares two already-written row files without
+   re-running anything. *)
 
 let quick = Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
 let scale_mode = Array.exists (fun a -> a = "scale") Sys.argv
 let traffic_mode = Array.exists (fun a -> a = "traffic") Sys.argv
 let soak_mode = Array.exists (fun a -> a = "soak") Sys.argv
+let obs_mode = Array.exists (fun a -> a = "obs") Sys.argv
+let check_mode = Array.exists (fun a -> a = "check") Sys.argv
 
-let json_out =
+let flag_value name =
   let out = ref None in
   Array.iteri
-    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
     Sys.argv;
-  match !out with
+  !out
+
+let json_out =
+  match flag_value "--json" with
   | None when scale_mode -> Some "BENCH_scale.json"
   | None when traffic_mode -> Some "BENCH_traffic.json"
   | None when soak_mode -> Some "BENCH_soak.json"
+  | None when obs_mode -> Some "BENCH_obs.json"
   | out -> out
 
-(* (name, unit, value) rows accumulated by every section below. *)
-let json_rows : (string * string * float) list ref = ref []
+let check_against = flag_value "--check"
+let baseline_out = flag_value "--baseline-out"
+
+(* Rows accumulated by every section below ([Obs.Rows] is the one
+   emitter, shared with the --check reader). *)
+let json_rows : Obs.Rows.row list ref = ref []
 
 (* The soak subsuite is an SLO gate: a breach still writes its rows, then
    fails the process. *)
 let soak_failed = ref false
 
-let record name unit value =
-  if json_out <> None then json_rows := (name, unit, value) :: !json_rows
+let record name unit value = json_rows := Obs.Rows.row name unit value :: !json_rows
+
+(* Print-and-record helper every subsuite routes through: one aligned
+   console line, one JSON row under [prefix/]. *)
+let emit ~prefix name unit value =
+  Printf.printf "  %-32s %14.1f %s\n" name value unit;
+  record (prefix ^ "/" ^ name) unit value
 
 let write_json_rows path =
-  let rows =
-    Obs.Json.List
-      (List.rev_map
-         (fun (name, unit, value) ->
-           Obs.Json.Obj
-             [ ("name", Obs.Json.Str name); ("unit", Obs.Json.Str unit);
-               ("value", Obs.Json.Float value) ])
-         !json_rows)
-  in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string rows);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\n(%d benchmark rows written to %s)\n" (List.length !json_rows) path
+  let rows = List.rev !json_rows in
+  Obs.Rows.write ~path rows;
+  Printf.printf "\n(%d benchmark rows written to %s)\n" (List.length rows) path
+
+(* Compare rows against a pinned baseline; exit 3 on regression so CI
+   distinguishes "perf gate tripped" from a crashed bench. *)
+let run_check ~baseline_path ~current =
+  let baseline = Obs.Rows.read ~path:baseline_path in
+  let ok, verdicts = Obs.Rows.check ~baseline ~current in
+  List.iter print_endline (Obs.Rows.report_lines ~baseline_path verdicts);
+  if not ok then exit 3
 
 let runs = if quick then 5 else Harness.Scenarios.runs
 let fig8_iterations = if quick then 100 else 1000
@@ -204,8 +225,7 @@ let heap_hold_bench ~hold ~ops =
   (flat_ops, ref_ops)
 
 let scale_row topo_name metric unit value =
-  Printf.printf "  %-32s %14.1f %s\n" (Printf.sprintf "%s/%s" topo_name metric) value unit;
-  record (Printf.sprintf "scale/%s/%s" topo_name metric) unit value
+  emit ~prefix:"scale" (topo_name ^ "/" ^ metric) unit value
 
 let run_scale () =
   Printf.printf "P4Update scale subsuite (%s mode)\n" (if quick then "quick" else "full");
@@ -230,7 +250,7 @@ let run_scale () =
   List.iter
     (fun build ->
       let topo = build () in
-      let cfg = Harness.Run_config.make ~seed:42 () in
+      let cfg = Harness.Run_config.make ~seed:42 ~incident_dir:"incidents" () in
       let r = Harness.Scale.run ~workload cfg topo in
       Format.printf "%a@." Harness.Scale.pp r;
       let name = r.Harness.Scale.sr_topology in
@@ -265,15 +285,11 @@ let run_traffic () =
   List.iter
     (fun build ->
       let topo = build () in
-      let cfg = Harness.Run_config.make ~seed:42 () in
+      let cfg = Harness.Run_config.make ~seed:42 ~incident_dir:"incidents" () in
       let sr, ts = Harness.Traffic.run_scale ~scale_workload ~workload cfg topo in
       Format.printf "%a@.%a@." Harness.Scale.pp sr Harness.Traffic.pp ts;
       let name = sr.Harness.Scale.sr_topology in
-      let row metric unit value =
-        Printf.printf "  %-32s %14.1f %s\n"
-          (Printf.sprintf "%s/%s" name metric) value unit;
-        record (Printf.sprintf "traffic/%s/%s" name metric) unit value
-      in
+      let row metric unit value = emit ~prefix:"traffic" (name ^ "/" ^ metric) unit value in
       row "pkts_per_s" "pkts/s" ts.Harness.Traffic.ts_pkts_per_s;
       row "injected" "pkts" (float_of_int ts.Harness.Traffic.ts_injected);
       row "delivery_rate" "ratio"
@@ -301,14 +317,14 @@ let run_soak () =
     if quick then Harness.Soak.quick_config else Harness.Soak.default_config
   in
   let topo = Topo.Topologies.b4 () in
-  let cfg = Harness.Run_config.make ~seed:Harness.Run_config.default.Harness.Run_config.seed () in
+  let cfg =
+    Harness.Run_config.make ~seed:Harness.Run_config.default.Harness.Run_config.seed
+      ~incident_dir:"incidents" ()
+  in
   let r = Harness.Soak.run ~config cfg topo in
   Format.printf "%a@." Harness.Soak.pp r;
   let name = r.Harness.Soak.so_topology in
-  let row metric unit value =
-    Printf.printf "  %-32s %14.1f %s\n" (Printf.sprintf "%s/%s" name metric) value unit;
-    record (Printf.sprintf "soak/%s/%s" name metric) unit value
-  in
+  let row metric unit value = emit ~prefix:"soak" (name ^ "/" ^ metric) unit value in
   let ts = r.Harness.Soak.so_traffic in
   row "events_per_s" "events/s"
     (if r.Harness.Soak.so_wall_s <= 0.0 then 0.0
@@ -326,8 +342,80 @@ let run_soak () =
   row "stuck" "count" (float_of_int (List.length r.Harness.Soak.so_stuck));
   row "leaks" "count" (float_of_int (List.length r.Harness.Soak.so_leaks));
   row "slo_ok" "bool" (if Harness.Soak.ok r then 1.0 else 0.0);
+  (* Per-cycle leak readings as rows: the gate pins each boundary, so a
+     heap or flight-table creep that stays under the end-of-run leak
+     thresholds still shows up as a regression against the baseline. *)
+  List.iter
+    (fun (c : Harness.Soak.cycle) ->
+      let cyc metric unit value =
+        row (Printf.sprintf "cycle%d/%s" c.Harness.Soak.cy_index metric) unit value
+      in
+      cyc "injected" "pkts" (float_of_int c.Harness.Soak.cy_injected);
+      cyc "pending_events" "count" (float_of_int c.Harness.Soak.cy_pending_events);
+      cyc "flows" "flows" (float_of_int c.Harness.Soak.cy_flows);
+      cyc "in_flight" "count" (float_of_int c.Harness.Soak.cy_in_flight);
+      cyc "violations" "count" (float_of_int c.Harness.Soak.cy_violations))
+    r.Harness.Soak.so_cycles;
   if not (Harness.Soak.ok r) then begin
     List.iter print_endline (Harness.Soak.report_lines r);
+    soak_failed := true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Obs subsuite: flight-recorder overhead (DESIGN par. 7)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance surface for the always-on recorder: its cost on the scale
+   engine must stay under 5% of recorder-off events/s.  Measured as
+   interleaved best-of-3 full Scale runs (fresh world each, identical
+   seed, so the event schedules are byte-identical and only the
+   recording differs), plus a tight [note] microbenchmark for the
+   per-call cost with and without a recorder installed. *)
+let run_obs () =
+  Printf.printf "P4Update observability subsuite (%s mode)\n" (if quick then "quick" else "full");
+  let obs_row name unit value = emit ~prefix:"obs" name unit value in
+  section "Flight recorder: note microbenchmark";
+  let n = if quick then 2_000_000 else 20_000_000 in
+  let time_notes () =
+    let started = Dessim.Wallclock.now_s () in
+    for i = 1 to n do
+      Obs.Flight_recorder.note ~now:(float_of_int i)
+        ~kind:Obs.Flight_recorder.k_deliver ~node:(i land 15) ~flow:1 ~a:i ~b:0
+    done;
+    float_of_int n /. Dessim.Wallclock.elapsed_s ~since:started
+  in
+  let best f = max (f ()) (max (f ()) (f ())) in
+  let note_off = best time_notes in
+  Obs.Flight_recorder.install (Obs.Flight_recorder.create ());
+  let note_on = best time_notes in
+  Obs.Flight_recorder.uninstall ();
+  obs_row "note_disabled" "ops/s" note_off;
+  obs_row "note_enabled" "ops/s" note_on;
+  section "Recorder overhead on the scale engine (recorder on vs off, best of 3)";
+  let workload =
+    { Harness.Scale.default_workload with
+      Harness.Scale.wl_updates = (if quick then 200 else 1000); wl_flows = 50 }
+  in
+  let run_with recorder =
+    let cfg = Harness.Run_config.make ~seed:42 ~recorder () in
+    let r = Harness.Scale.run ~workload cfg (Topo.Topologies.attmpls ()) in
+    r.Harness.Scale.sr_events_per_s
+  in
+  ignore (run_with false) (* warm-up: page in the code paths once *);
+  let best_off = ref 0.0 and best_on = ref 0.0 in
+  for _ = 1 to 3 do
+    best_off := max !best_off (run_with false);
+    best_on := max !best_on (run_with true)
+  done;
+  let overhead_pct = (1.0 -. (!best_on /. !best_off)) *. 100.0 in
+  obs_row "scale_events_per_s_recorder_off" "events/s" !best_off;
+  obs_row "scale_events_per_s_recorder_on" "events/s" !best_on;
+  obs_row "recorder_overhead" "%" (Float.max 0.0 overhead_pct);
+  Printf.printf "  recorder cost %.2f%% of events/s (target < 5%%)\n" overhead_pct;
+  (* Wall-clock noise swamps a 5-point band in quick/CI runs; the full
+     suite enforces the acceptance threshold. *)
+  if (not quick) && overhead_pct > 5.0 then begin
+    Printf.printf "  OBS GATE FAILED: recorder overhead %.2f%% > 5%%\n" overhead_pct;
     soak_failed := true
   end
 
@@ -414,10 +502,30 @@ let run_figures () =
   run_bechamel ()
 
 let () =
-  if scale_mode then run_scale ()
-  else if traffic_mode then run_traffic ()
-  else if soak_mode then run_soak ()
-  else run_figures ();
-  (match json_out with Some path -> write_json_rows path | None -> ());
-  print_newline ();
-  if !soak_failed then exit 1
+  if check_mode then begin
+    (* Standalone gate: compare two already-written row files. *)
+    match (flag_value "--baseline", flag_value "--current") with
+    | Some baseline_path, Some current_path ->
+      run_check ~baseline_path ~current:(Obs.Rows.read ~path:current_path)
+    | _ ->
+      prerr_endline "usage: bench check --baseline FILE --current FILE";
+      exit 2
+  end
+  else begin
+    if scale_mode then run_scale ()
+    else if traffic_mode then run_traffic ()
+    else if soak_mode then run_soak ()
+    else if obs_mode then run_obs ()
+    else run_figures ();
+    (match json_out with Some path -> write_json_rows path | None -> ());
+    (match baseline_out with
+     | Some path ->
+       Obs.Rows.write_baseline ~path (List.rev !json_rows);
+       Printf.printf "(baseline with tolerance bands pinned to %s)\n" path
+     | None -> ());
+    (match check_against with
+     | Some baseline_path -> run_check ~baseline_path ~current:(List.rev !json_rows)
+     | None -> ());
+    print_newline ();
+    if !soak_failed then exit 1
+  end

@@ -51,11 +51,57 @@ let seed_arg ~default =
 (* The scenario runners historically number their runs 1000, 1001, ... *)
 let scenario_seed_base = 1000
 
+(* Shared observability flags: the long-horizon harnesses (scale,
+   traffic, soak, chaos, top) all take the same four. *)
+type obs_flags = {
+  ob_no_recorder : bool;
+  ob_incident_dir : string option;
+  ob_tick_ms : float option;
+  ob_series_out : string option;
+}
+
+let obs_term =
+  let no_recorder_arg =
+    Arg.(value & flag
+         & info [ "no-recorder" ]
+             ~doc:"Disable the always-on flight recorder for this run.")
+  in
+  let incident_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "incident-dir" ] ~docv:"DIR"
+             ~doc:"Dump the flight recorder's retained window here as a \
+                   Perfetto-loadable incident snapshot whenever a trigger fires \
+                   (invariant violation, abort, give-up, stuck update, leak, \
+                   SLO breach).")
+  in
+  let tick_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "tick-ms" ] ~docv:"MS"
+             ~doc:"Rolling SLO time-series window length in simulated ms \
+                   (default: the harness's own).")
+  in
+  let series_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Export the rolling SLO time-series as JSONL (one object per \
+                   window).")
+  in
+  Term.(const (fun ob_no_recorder ob_incident_dir ob_tick_ms ob_series_out ->
+            { ob_no_recorder; ob_incident_dir; ob_tick_ms; ob_series_out })
+        $ no_recorder_arg $ incident_dir_arg $ tick_ms_arg $ series_out_arg)
+
 (* One Run_config per invocation: flags override [Run_config.default]. *)
 let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
-    ?reorder_window_ms () =
+    ?reorder_window_ms ?obs ?live_top () =
+  let recorder, incident_dir, tick_ms, series_out =
+    match obs with
+    | None -> (None, None, None, None)
+    | Some o ->
+      (Some (not o.ob_no_recorder), o.ob_incident_dir, o.ob_tick_ms, o.ob_series_out)
+  in
   Harness.Run_config.make ~seed ?runs ?iterations ?congestion ?trace_sink
-    ?fault_plan ?reorder_window_ms ()
+    ?fault_plan ?reorder_window_ms ?recorder ?incident_dir ?tick_ms ?series_out
+    ?live_top ()
 
 let system_conv =
   let parse = function
@@ -343,7 +389,7 @@ let chaos_cmd =
                    Chrome trace JSON; with several runs, FILE gets the scenario and seed \
                    appended.")
   in
-  let run scenario seed runs no_recovery trace_out =
+  let run scenario seed runs no_recovery trace_out obs =
     let fault_plan =
       { Harness.Run_config.default_faults with fp_recovery = not no_recovery }
     in
@@ -362,7 +408,7 @@ let chaos_cmd =
               | None -> None
               | Some _ -> Some (Obs.Trace.create ~exclude:[ "sim"; "net"; "p4rt" ] ())
             in
-            let cfg = cfg_of ~seed ~fault_plan ?trace_sink () in
+            let cfg = cfg_of ~seed ~fault_plan ?trace_sink ~obs () in
             let r = Harness.Chaos.run_cfg cfg ~scenario:sc in
             (match (trace_out, trace_sink) with
             | Some path, Some sink ->
@@ -395,7 +441,8 @@ let chaos_cmd =
        ~doc:
          "Run seeded chaos schedules (both-plane faults plus link/node failures) and check \
           the Thm. 1-4 invariants and convergence.")
-    Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg $ trace_out_arg)
+    Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg $ trace_out_arg
+          $ obs_term)
 
 (* --- mc --- *)
 
@@ -531,8 +578,8 @@ let scale_cmd =
          & info [ "probe-every" ] ~docv:"N"
              ~doc:"Invariant probe every N bursts (0 disables).")
   in
-  let run (name, build) seed updates flows arrival_mean burst churn probe_every =
-    let cfg = cfg_of ~seed () in
+  let run (name, build) seed updates flows arrival_mean burst churn probe_every obs =
+    let cfg = cfg_of ~seed ~obs () in
     let workload =
       { Harness.Scale.default_workload with
         wl_updates = updates; wl_flows = flows; wl_arrival_mean_ms = arrival_mean;
@@ -560,7 +607,8 @@ let scale_cmd =
     Term.(const run
           $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
           $ seed_arg ~default:Harness.Run_config.default.seed
-          $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg)
+          $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg
+          $ obs_term)
 
 (* --- traffic --- *)
 
@@ -586,8 +634,8 @@ let traffic_cmd =
     Arg.(value & opt float Harness.Traffic.default_workload.Harness.Traffic.tw_stop_ms
          & info [ "stop" ] ~docv:"MS" ~doc:"Stop injecting at this simulated time.")
   in
-  let run (name, build) seed updates flows gap_mean constant stop =
-    let cfg = cfg_of ~seed () in
+  let run (name, build) seed updates flows gap_mean constant stop obs =
+    let cfg = cfg_of ~seed ~obs () in
     let scale_workload =
       { Harness.Scale.default_workload with wl_updates = updates; wl_flows = flows }
     in
@@ -615,7 +663,7 @@ let traffic_cmd =
     Term.(const run
           $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
           $ seed_arg ~default:Harness.Run_config.default.seed
-          $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg)
+          $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg $ obs_term)
 
 (* --- soak --- *)
 
@@ -652,7 +700,8 @@ let soak_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the per-cycle leak readings.")
   in
-  let run (name, build) seed cycles cycle_ms population updates gap fault quick verbose =
+  let run (name, build) seed cycles cycle_ms population updates gap fault quick verbose
+      obs =
     let base =
       if quick then Harness.Soak.quick_config else Harness.Soak.default_config
     in
@@ -664,7 +713,7 @@ let soak_cmd =
           sk_population = population; sk_updates_per_cycle = updates;
           sk_probe_gap_ms = gap; sk_control_fault_prob = fault }
     in
-    let cfg = cfg_of ~seed () in
+    let cfg = cfg_of ~seed ~obs () in
     Printf.printf
       "soak run on %s: %d cycles x %.0f ms, %d flows, faults + churn + probes (seed %d)\n"
       name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
@@ -688,7 +737,50 @@ let soak_cmd =
           $ topo_arg ()
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ cycles_arg $ cycle_ms_arg $ population_arg $ updates_arg $ gap_arg
-          $ fault_arg $ quick_arg $ verbose_arg)
+          $ fault_arg $ quick_arg $ verbose_arg $ obs_term)
+
+(* --- top --- *)
+
+let top_cmd =
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"CI-sized soak preset instead of the full one.")
+  in
+  let cycles_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cycles" ] ~docv:"N" ~doc:"Override the number of soak cycles.")
+  in
+  let run (name, build) seed quick cycles obs =
+    let base =
+      if quick then Harness.Soak.quick_config else Harness.Soak.default_config
+    in
+    let config =
+      match cycles with
+      | None -> base
+      | Some n -> { base with Harness.Soak.sk_cycles = n }
+    in
+    let cfg = cfg_of ~seed ~obs ~live_top:true () in
+    Printf.printf "top: soak on %s, %d cycles x %.0f ms, tick %.0f ms (seed %d)\n%!"
+      name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
+      (Option.value obs.ob_tick_ms ~default:Harness.Soak.default_tick_ms) seed;
+    let r = Harness.Soak.run ~config cfg (build ()) in
+    print_newline ();
+    Format.printf "%a@." Harness.Soak.pp r;
+    if not (Harness.Soak.ok r) then begin
+      List.iter print_endline (Harness.Soak.report_lines r);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a soak with the live text dashboard: the rolling SLO time-series \
+          (probe and completion rates, update-latency p50/p99, in-flight updates, \
+          recovery activity, heap footprint) re-rendered at every simulated tick.")
+    Term.(const run
+          $ topo_arg ()
+          $ seed_arg ~default:Harness.Run_config.default.seed
+          $ quick_arg $ cycles_arg $ obs_term)
 
 (* --- import --- *)
 
@@ -727,4 +819,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
-            scale_cmd; traffic_cmd; soak_cmd; import_cmd ]))
+            scale_cmd; traffic_cmd; soak_cmd; top_cmd; import_cmd ]))

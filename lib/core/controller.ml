@@ -329,6 +329,10 @@ let abort_update ?(reason = "operator") t ~flow_id =
     (match t.recovery with
      | Some rc -> Obs.Metrics.incr rc.rc_aborts
      | None -> ());
+    (let now = Sim.now (Netsim.sim t.net) in
+     Obs.Flight_recorder.note ~now ~kind:Obs.Flight_recorder.k_abort ~node:(-1)
+       ~flow:flow_id ~a:version ~b:0;
+     ignore (Obs.Flight_recorder.trigger ~now ~reason:"abort"));
     (if Obs.Trace.enabled () then begin
        Obs.Trace.instant ~cat:"recovery" "recovery.abort"
          ~parent:(Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
@@ -366,6 +370,10 @@ let abort_update ?(reason = "operator") t ~flow_id =
 (* Exhaustion (or deadline): count the give-up, then abort. *)
 let give_up t rc ~flow_id ~version ~why =
   Obs.Metrics.incr rc.rc_give_ups;
+  (let now = Sim.now (Netsim.sim t.net) in
+   Obs.Flight_recorder.note ~now ~kind:Obs.Flight_recorder.k_give_up ~node:(-1)
+     ~flow:flow_id ~a:version ~b:0;
+   ignore (Obs.Flight_recorder.trigger ~now ~reason:"give-up"));
   if Obs.Trace.enabled () then
     Obs.Trace.instant ~cat:"recovery" "recovery.give_up"
       ~parent:(Obs.Trace.anchor_get (Wire.span_key_update ~flow_id ~version))
@@ -403,6 +411,9 @@ let rec push t prepared =
   List.iter
     (fun f -> f ~flow_id:prepared.p_flow ~version:prepared.p_version)
     t.push_hooks;
+  Obs.Flight_recorder.note ~now:(Sim.now (Netsim.sim t.net))
+    ~kind:Obs.Flight_recorder.k_push ~node:(-1) ~flow:prepared.p_flow
+    ~a:prepared.p_version ~b:(List.length prepared.p_uims);
   (* Root span of the update's causal tree; ended by the success UFM. *)
   if Obs.Trace.enabled () then
     Obs.Trace.anchor_set
@@ -465,6 +476,9 @@ and arm_recovery t ~flow_id ~version ~attempt =
             (match Hashtbl.find_opt t.last_pushed flow_id with
              | Some p when p.p_version = version ->
                Obs.Metrics.incr rc.rc_retransmissions;
+               Obs.Flight_recorder.note ~now:(Sim.now (Netsim.sim t.net))
+                 ~kind:Obs.Flight_recorder.k_retransmit ~node:(-1) ~flow:flow_id
+                 ~a:version ~b:attempt;
                if Obs.Trace.enabled () then
                  Obs.Trace.instant ~cat:"recovery" "recovery.retransmit"
                    ~parent:
@@ -493,6 +507,9 @@ and reroute t (flow : flow) =
      with
      | Some new_path when new_path <> flow.path ->
        Obs.Metrics.incr rc.rc_reroutes;
+       Obs.Flight_recorder.note ~now:(Sim.now (Netsim.sim t.net))
+         ~kind:Obs.Flight_recorder.k_reroute ~node:(-1) ~flow:flow.flow_id
+         ~a:flow.version ~b:0;
        if Obs.Trace.enabled () then
          Obs.Trace.instant ~cat:"recovery" "recovery.reroute"
            ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
@@ -510,6 +527,9 @@ and resync t (flow : flow) =
   | None -> ()
   | Some rc ->
     Obs.Metrics.incr rc.rc_resyncs;
+    Obs.Flight_recorder.note ~now:(Sim.now (Netsim.sim t.net))
+      ~kind:Obs.Flight_recorder.k_resync ~node:(-1) ~flow:flow.flow_id
+      ~a:flow.version ~b:0;
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~cat:"recovery" "recovery.resync"
         ~attrs:[ Obs.Trace.flow flow.flow_id; Obs.Trace.version flow.version ];
@@ -528,6 +548,9 @@ and kick t (flow : flow) =
       (match t.recovery, Hashtbl.find_opt t.last_pushed flow.flow_id with
        | Some rc, Some p when p.p_version = flow.version ->
          Obs.Metrics.incr rc.rc_retransmissions;
+         Obs.Flight_recorder.note ~now:(Sim.now (Netsim.sim t.net))
+           ~kind:Obs.Flight_recorder.k_retransmit ~node:(-1) ~flow:flow.flow_id
+           ~a:flow.version ~b:0;
          send_uims t p;
          arm_recovery t ~flow_id:flow.flow_id ~version:flow.version ~attempt:1
        | _ -> ())
@@ -671,6 +694,9 @@ let install_handler t =
           }
         in
         if report.r_status <> Wire.ufm_success then t.alarms <- t.alarms + 1;
+        Obs.Flight_recorder.note ~now:report.r_time
+          ~kind:Obs.Flight_recorder.k_report ~node:from ~flow:c.flow_id
+          ~a:c.version_new ~b:report.r_status;
         (if Obs.Trace.enabled () then begin
            (* End the switch's UFM flight span, and on first success close
               the update's root span — the causal tree is complete. *)

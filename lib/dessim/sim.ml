@@ -19,6 +19,14 @@ type t = {
   mutable chooser_window : float;
   mutable events : int;
   mutable wall_s : float;
+  (* Observability tick: fired from [dispatch] whenever the clock crosses
+     a multiple of [tick_every], strictly off the event heap — the tick
+     never schedules events, never consumes RNG and never perturbs
+     [pending], so installing one cannot change a run's event schedule,
+     chaos hash or mc fingerprint. *)
+  mutable tick_every : float;  (* 0.0 = disabled *)
+  mutable tick_next : float;
+  mutable on_tick : (now:float -> unit) option;
 }
 
 let create ?(seed = 0x5eed) () =
@@ -30,6 +38,9 @@ let create ?(seed = 0x5eed) () =
     chooser_window = 0.0;
     events = 0;
     wall_s = 0.0;
+    tick_every = 0.0;
+    tick_next = 0.0;
+    on_tick = None;
   }
 
 let now t = t.clock
@@ -60,9 +71,35 @@ let schedule ?tag t ~delay f =
     invalid_arg "Sim.schedule: negative or non-finite delay";
   schedule_at ?tag t ~time:(t.clock +. delay) f
 
+(* Catch-up loop: a dispatch that jumps several tick periods ahead fires
+   every intermediate tick, each stamped with its own boundary time, so
+   windows stay fixed-width even across idle stretches. *)
+let fire_ticks t =
+  match t.on_tick with
+  | Some cb when t.tick_every > 0.0 ->
+    while t.tick_next <= t.clock do
+      let at = t.tick_next in
+      t.tick_next <- at +. t.tick_every;
+      cb ~now:at
+    done
+  | Some _ | None -> ()
+
+let set_tick t ~every_ms cb =
+  if not (Float.is_finite every_ms) || every_ms <= 0.0 then
+    invalid_arg "Sim.set_tick: tick period must be positive";
+  t.tick_every <- every_ms;
+  (* First boundary strictly after the current clock. *)
+  t.tick_next <- (Float.of_int (int_of_float (t.clock /. every_ms)) +. 1.0) *. every_ms;
+  t.on_tick <- Some cb
+
+let clear_tick t =
+  t.tick_every <- 0.0;
+  t.on_tick <- None
+
 let dispatch t ~time f =
   t.clock <- time;
   t.events <- t.events + 1;
+  if t.on_tick <> None then fire_ticks t;
   (* The "sim" category is excluded by default; enabling it gives a span
      per dispatched event for scheduler-level profiling. *)
   if Obs.Trace.enabled () then

@@ -93,6 +93,19 @@ val reset_stats : t -> unit
 
 val pending : t -> int
 
+(** [set_tick t ~every_ms cb] installs an observability tick: [cb ~now]
+    fires (from inside event dispatch, not off the heap) every time the
+    clock crosses a multiple of [every_ms], with [now] pinned to the
+    boundary it crossed.  A dispatch that jumps several periods fires
+    every intermediate tick in order.  The callback must not schedule
+    events or consume simulator randomness; the kernel never does either
+    on its behalf, so installing a tick cannot change a run's event
+    schedule, chaos hash or mc fingerprint.  Raises [Invalid_argument]
+    if [every_ms] is not positive and finite. *)
+val set_tick : t -> every_ms:float -> (now:float -> unit) -> unit
+
+val clear_tick : t -> unit
+
 (** [fold_pending t ~init ~f] folds over the pending events' times and
     tags, in unspecified order.  Used to fingerprint the in-flight
     message multiset. *)

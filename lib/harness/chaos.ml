@@ -374,6 +374,9 @@ let run_cfg ?traffic (cfg : Run_config.t) ~scenario =
     config_of_plan
       (Option.value cfg.Run_config.fault_plan ~default:Run_config.default_faults)
   in
+  (* The flight recorder rides the whole pair of runs (degraded +
+     baseline): a baseline-run violation is every bit as reportable. *)
+  Observe.with_recorder cfg @@ fun _recorder ->
   run ~config ?trace_sink:cfg.Run_config.trace_sink ?traffic ~scenario
     ~seed:cfg.Run_config.seed ()
 

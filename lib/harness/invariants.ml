@@ -20,7 +20,12 @@ type monitor = {
 }
 
 let record m ~time ~flow what =
-  m.violations <- { v_time = time; v_flow = flow; v_what = what } :: m.violations
+  m.violations <- { v_time = time; v_flow = flow; v_what = what } :: m.violations;
+  (* An invariant violation is the primary incident trigger: stamp it in
+     the flight recorder and dump the retained window. *)
+  Obs.Flight_recorder.note ~now:time ~kind:Obs.Flight_recorder.k_violation
+    ~node:(-1) ~flow ~a:0 ~b:0;
+  ignore (Obs.Flight_recorder.trigger ~now:time ~reason:"invariant-violation")
 
 (* Installing the monitor wires the event-driven probes: commit hooks on
    every switch for version monotonicity, and a topology observer so a

@@ -51,6 +51,11 @@ type t = {
   trace_sink : Obs.Trace.sink option;
   fault_plan : fault_plan option;
   reorder_window_ms : float option;
+  recorder : bool;
+  incident_dir : string option;
+  tick_ms : float option;
+  series_out : string option;
+  live_top : bool;
 }
 
 let default =
@@ -62,12 +67,31 @@ let default =
     trace_sink = None;
     fault_plan = None;
     reorder_window_ms = None;
+    recorder = true;
+    incident_dir = None;
+    tick_ms = None;
+    series_out = None;
+    live_top = false;
   }
 
 let make ?(seed = default.seed) ?(runs = default.runs)
     ?(iterations = default.iterations) ?(congestion = default.congestion)
-    ?trace_sink ?fault_plan ?reorder_window_ms () =
-  { seed; runs; iterations; congestion; trace_sink; fault_plan; reorder_window_ms }
+    ?trace_sink ?fault_plan ?reorder_window_ms ?(recorder = default.recorder)
+    ?incident_dir ?tick_ms ?series_out ?(live_top = default.live_top) () =
+  {
+    seed;
+    runs;
+    iterations;
+    congestion;
+    trace_sink;
+    fault_plan;
+    reorder_window_ms;
+    recorder;
+    incident_dir;
+    tick_ms;
+    series_out;
+    live_top;
+  }
 
 let with_seed seed cfg = { cfg with seed }
 let with_runs runs cfg = { cfg with runs }

@@ -38,10 +38,16 @@ type t = {
   trace_sink : Obs.Trace.sink option;(** install around the run when present *)
   fault_plan : fault_plan option;    (** inject faults when present (chaos) *)
   reorder_window_ms : float option;  (** mc chooser window override *)
+  recorder : bool;                   (** always-on flight recorder (default on) *)
+  incident_dir : string option;      (** where trigger dumps land; None = no files *)
+  tick_ms : float option;            (** SLO time-series tick override *)
+  series_out : string option;        (** write windows as JSONL here *)
+  live_top : bool;                   (** render the top dashboard per window *)
 }
 
 (** seed 1, 30 runs, 1000 iterations, no congestion, no sink, no faults,
-    per-scenario reorder window. *)
+    per-scenario reorder window; flight recorder on, no incident dir, no
+    series export, no live dashboard. *)
 val default : t
 
 val make :
@@ -52,6 +58,11 @@ val make :
   ?trace_sink:Obs.Trace.sink ->
   ?fault_plan:fault_plan ->
   ?reorder_window_ms:float ->
+  ?recorder:bool ->
+  ?incident_dir:string ->
+  ?tick_ms:float ->
+  ?series_out:string ->
+  ?live_top:bool ->
   unit ->
   t
 

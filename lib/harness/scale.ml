@@ -61,6 +61,7 @@ type result = {
   sr_updates_per_s : float;       (* completed updates per wall second *)
   sr_prep_per_s : float;          (* preparation throughput (see below) *)
   sr_violations : Invariants.violation list;
+  sr_series : Obs.Timeseries.window list; (* rolling SLO windows *)
 }
 
 (* Observation hooks for layers that ride along with the workload (the
@@ -148,7 +149,11 @@ let retime_prep (w : World.t) requests =
 
 (* ---- the engine ------------------------------------------------------ *)
 
+(* Default SLO sampling window for the scale engine (simulated ms). *)
+let default_tick_ms = 1000.0
+
 let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
+  Observe.with_recorder cfg @@ fun _recorder ->
   let w = World.make ~seed:cfg.Run_config.seed topo in
   let g = topo.Topo.Topologies.graph in
   let n = Graph.node_count g in
@@ -165,6 +170,23 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
   let pending : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
   let completions = ref [] in
   let completed = ref 0 in
+  let pushed = ref 0 in
+  (* Rolling SLO windows: completion latency p50/p99, push/completion
+     rates, in-flight updates and heap footprint per simulated second. *)
+  let series =
+    Observe.attach_series cfg w.World.sim ~default_tick_ms
+      ~title:("p4update scale " ^ topo.Topo.Topologies.name)
+      ~register:(fun ts ->
+        Obs.Timeseries.dist ts "update_latency" ~unit_:"ms";
+        Obs.Timeseries.rate ts "pushed" ~unit_:"updates/s" (fun () ->
+            float_of_int !pushed);
+        Obs.Timeseries.rate ts "completed" ~unit_:"updates/s" (fun () ->
+            float_of_int !completed);
+        Obs.Timeseries.gauge ts "in_flight" ~unit_:"updates" (fun () ->
+            float_of_int (Hashtbl.length pending));
+        Obs.Timeseries.gauge ts "heap" ~unit_:"events" (fun () ->
+            float_of_int (Sim.pending w.World.sim)))
+  in
   P4update.Controller.on_report w.World.controller (fun r ->
       if r.P4update.Controller.r_status = P4update.Wire.ufm_success then begin
         let key = (r.P4update.Controller.r_flow, r.P4update.Controller.r_version) in
@@ -172,10 +194,11 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
         | Some pushed ->
           Hashtbl.remove pending key;
           incr completed;
-          completions := (r.P4update.Controller.r_time -. pushed) :: !completions
+          let sample = r.P4update.Controller.r_time -. pushed in
+          Obs.Timeseries.observe series "update_latency" sample;
+          completions := sample :: !completions
         | None -> ()
       end);
-  let pushed = ref 0 in
   let bursts = ref 0 in
   let underfilled = ref 0 in
   let churned = ref 0 in
@@ -273,6 +296,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
     if !prep_s > 0.01 then float_of_int !prepared_n /. !prep_s
     else retime_prep w requests
   in
+  Observe.finish_series cfg w.World.sim series;
   {
     sr_topology = topo.Topo.Topologies.name;
     sr_updates_pushed = !pushed;
@@ -292,6 +316,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
        else 0.0);
     sr_prep_per_s = prep_per_s;
     sr_violations = Invariants.violations monitor;
+    sr_series = Obs.Timeseries.windows series;
   }
 
 let pp ppf r =

@@ -26,6 +26,10 @@ type workload = {
     5% churn, probe every 25 bursts, size-1 flows, 300 s horizon. *)
 val default_workload : workload
 
+(** Rolling SLO window length (simulated ms) when [Run_config.tick_ms]
+    is not set. *)
+val default_tick_ms : float
+
 type result = {
   sr_topology : string;
   sr_updates_pushed : int;
@@ -45,6 +49,10 @@ type result = {
   sr_updates_per_s : float;      (** completed updates per wall second *)
   sr_prep_per_s : float;         (** controller preparation throughput *)
   sr_violations : Invariants.violation list;
+  sr_series : Obs.Timeseries.window list;
+      (** rolling SLO windows (one per [Run_config.tick_ms], default 1 s
+          simulated): update-latency p50/p99, push/completion rates,
+          in-flight updates, heap footprint *)
 }
 
 (** Ride-along observation hooks (the traffic engine).  The factory given

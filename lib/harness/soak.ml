@@ -129,6 +129,7 @@ type result = {
   so_leaks : string list;      (* leak / monotonicity breaches, human-readable *)
   so_violations : Invariants.violation list;
   so_traffic : Traffic.summary;
+  so_series : Obs.Timeseries.window list; (* rolling SLO windows *)
 }
 
 let ok r =
@@ -169,7 +170,11 @@ let admit (w : World.t) g ~n ~size ~used =
 
 (* ---- the monitor ----------------------------------------------------- *)
 
+(* Default SLO sampling window for soak runs (simulated ms). *)
+let default_tick_ms = 500.0
+
 let run ?(config = default_config) (cfg : Run_config.t) topo =
+  Observe.with_recorder cfg @@ fun _recorder ->
   let w = World.make ~seed:cfg.Run_config.seed topo in
   let sim = w.World.sim in
   let net = w.World.net in
@@ -246,6 +251,30 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   let pending : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
   let completions = ref [] in
   let completed = ref 0 in
+  (* Rolling SLO windows over the whole soak: probe/update rates,
+     completion latency p50/p99, in-flight updates, recovery activity
+     and heap footprint, one window per simulated half second. *)
+  let recovery_rate ts name counter =
+    Obs.Timeseries.rate ts name ~unit_:"ops/s" (fun () ->
+        float_of_int (Obs.Metrics.get_count metrics counter))
+  in
+  let series =
+    Observe.attach_series cfg sim ~default_tick_ms
+      ~title:("p4update soak " ^ topo.Topologies.name)
+      ~register:(fun ts ->
+        Obs.Timeseries.dist ts "update_latency" ~unit_:"ms";
+        Obs.Timeseries.rate ts "pkts" ~unit_:"pkts/s" (fun () ->
+            float_of_int (Obs.Metrics.get_count metrics "traffic.injected"));
+        Obs.Timeseries.rate ts "completed" ~unit_:"updates/s" (fun () ->
+            float_of_int !completed);
+        Obs.Timeseries.gauge ts "in_flight" ~unit_:"updates" (fun () ->
+            float_of_int (Hashtbl.length pending));
+        recovery_rate ts "retransmit" "recovery.retransmissions";
+        recovery_rate ts "reroute" "recovery.reroutes";
+        recovery_rate ts "abort" "recovery.aborts";
+        Obs.Timeseries.gauge ts "heap" ~unit_:"events" (fun () ->
+            float_of_int (Sim.pending sim)))
+  in
   P4update.Controller.on_report w.World.controller (fun r ->
       if r.P4update.Controller.r_status = P4update.Wire.ufm_success then begin
         let key = (r.P4update.Controller.r_flow, r.P4update.Controller.r_version) in
@@ -253,7 +282,9 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         | Some at ->
           Hashtbl.remove pending key;
           incr completed;
-          completions := (r.P4update.Controller.r_time -. at) :: !completions
+          let sample = r.P4update.Controller.r_time -. at in
+          Obs.Timeseries.observe series "update_latency" sample;
+          completions := sample :: !completions
         | None -> ()
       end);
   (* Fault hooks, gated by the current cycle's window.  Only
@@ -381,6 +412,8 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         Obs.Metrics.set g_heap (float_of_int (Sim.pending sim));
         Obs.Metrics.set g_flows
           (float_of_int (List.length (P4update.Controller.flows w.World.controller)));
+        Obs.Flight_recorder.note ~now:(Sim.now sim) ~kind:Obs.Flight_recorder.k_leak
+          ~node:(-1) ~flow:(-1) ~a:(Sim.pending sim) ~b:(Traffic.in_flight tr);
         cycles :=
           { cy_index = k;
             cy_injected = Obs.Metrics.get_count metrics "traffic.injected";
@@ -466,6 +499,28 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   in
   let stats = Sim.stats sim in
   let samples = !completions in
+  let upd_p50 = Option.value ~default:0.0 (Stats.percentile_opt 50.0 samples) in
+  let upd_p99 = Option.value ~default:0.0 (Stats.percentile_opt 99.0 samples) in
+  (* End-of-run incident triggers: each surviving breach dumps the
+     recorder window while the run's tail is still in the ring. *)
+  let end_now = Sim.now sim in
+  List.iter
+    (fun (flow, version) ->
+      Obs.Flight_recorder.note ~now:end_now ~kind:Obs.Flight_recorder.k_stuck
+        ~node:(-1) ~flow ~a:version ~b:0;
+      ignore (Obs.Flight_recorder.trigger ~now:end_now ~reason:"stuck-update"))
+    stuck;
+  if !leaks <> [] then
+    ignore (Obs.Flight_recorder.trigger ~now:end_now ~reason:"leak");
+  (* The soak SLO: update completion p99 must beat the operator deadline
+     (past it, the §11 ladder would have aborted the update anyway). *)
+  (match sk.sk_deadline_ms with
+   | Some d when upd_p99 > d ->
+     Obs.Flight_recorder.note ~now:end_now ~kind:Obs.Flight_recorder.k_slo
+       ~node:(-1) ~flow:(-1) ~a:(int_of_float upd_p99) ~b:(int_of_float d);
+     ignore (Obs.Flight_recorder.trigger ~now:end_now ~reason:"slo-breach")
+   | Some _ | None -> ());
+  Observe.finish_series cfg sim series;
   {
     so_topology = topo.Topologies.name;
     so_cycles = cycles;
@@ -478,12 +533,13 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
     so_element_failures = !element_failures;
     so_recovery = rstats;
     so_withdrawals = withdrawals;
-    so_upd_p50_ms = Option.value ~default:0.0 (Stats.percentile_opt 50.0 samples);
-    so_upd_p99_ms = Option.value ~default:0.0 (Stats.percentile_opt 99.0 samples);
+    so_upd_p50_ms = upd_p50;
+    so_upd_p99_ms = upd_p99;
     so_stuck = stuck;
     so_leaks = List.rev !leaks;
     so_violations = Invariants.violations monitor;
     so_traffic = traffic;
+    so_series = Obs.Timeseries.windows series;
   }
 
 let pp ppf r =
@@ -522,4 +578,5 @@ let report_lines r =
       List.map
         (fun v -> "soak VIOLATION: " ^ Invariants.violation_to_string v)
         r.so_violations;
+      List.map (fun s -> "soak trend: " ^ s) (Obs.Timeseries.trend_lines r.so_series);
     ]

@@ -51,6 +51,10 @@ val default_config : config
     still exercised. *)
 val quick_config : config
 
+(** Rolling SLO window length (simulated ms) when [Run_config.tick_ms]
+    is not set. *)
+val default_tick_ms : float
+
 (** Per-cycle leak reading, taken at the boundary after the drain. *)
 type cycle = {
   cy_index : int;
@@ -79,6 +83,10 @@ type result = {
   so_leaks : string list;      (** leak / monotonicity breaches *)
   so_violations : Invariants.violation list;
   so_traffic : Traffic.summary;
+  so_series : Obs.Timeseries.window list;
+      (** rolling SLO windows (one per [Run_config.tick_ms], default
+          0.5 s simulated): probe and completion rates, update-latency
+          p50/p99, in-flight updates, recovery activity, heap footprint *)
 }
 
 (** The soak SLO: zero invariant violations, zero probe-audit violations
@@ -92,5 +100,6 @@ val run : ?config:config -> Run_config.t -> Topo.Topologies.t -> result
 val pp : Format.formatter -> result -> unit
 
 (** One line per cycle reading, plus one line per stuck update, leak and
-    invariant violation — the CLI's machine-greppable breach report. *)
+    invariant violation, plus one sparkline trend per SLO metric — the
+    CLI's machine-greppable breach report. *)
 val report_lines : result -> string list

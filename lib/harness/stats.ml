@@ -17,20 +17,10 @@ let stddev = function
    raise with a clear message, and [*_opt] variants are provided for
    callers that want to handle emptiness themselves. *)
 
-let percentile_opt p xs =
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
-  match xs with
-  | [] -> None
-  | xs ->
-    let sorted = List.sort compare xs in
-    let arr = Array.of_list sorted in
-    let n = Array.length arr in
-    let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
-    if lo = hi then Some arr.(lo)
-    else
-      let frac = rank -. float_of_int lo in
-      Some (arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo))))
+(* The order-statistics math (and the p-range validation) is shared with
+   Obs.Metrics' histogram estimator through Obs.Quantile — one
+   implementation, one error message. *)
+let percentile_opt p xs = Obs.Quantile.of_list_opt ~who:"Stats.percentile" p xs
 
 let percentile p xs =
   match percentile_opt p xs with

@@ -407,7 +407,21 @@ let drain ?excuse t =
            | None -> false)
       in
       if excused then t.acc_excused <- t.acc_excused + 1
-      else t.acc_counts.(outcome_to_int cls) <- t.acc_counts.(outcome_to_int cls) + 1;
+      else begin
+        t.acc_counts.(outcome_to_int cls) <- t.acc_counts.(outcome_to_int cls) + 1;
+        match cls with
+        | Mixed | Loop | Blackhole ->
+          (* A per-packet consistency violation: stamp it and dump the
+             flight-recorder window while the evidence is still in it. *)
+          let now = Sim.now (Netsim.sim t.world.World.net) in
+          Obs.Flight_recorder.note ~now ~kind:Obs.Flight_recorder.k_violation
+            ~node:pk.pk_delivered_at ~flow:pk.pk_flow ~a:(outcome_to_int cls)
+            ~b:pk.pk_seq;
+          ignore
+            (Obs.Flight_recorder.trigger ~now
+               ~reason:("traffic-" ^ outcome_name cls))
+        | Old_path | New_path -> ()
+      end;
       if pk.pk_delivered_at >= 0 then
         t.acc_latencies <- pk.pk_latency_ms :: t.acc_latencies;
       t.acc_digest <-

@@ -237,6 +237,15 @@ let node_is_up t ~node = not t.node_down.(node)
 let link_is_up t u v = not (Hashtbl.mem t.link_failed (link_key u v))
 
 let fire_topo_event t ev =
+  (let node, a, b =
+     match ev with
+     | Link_down (u, v) -> (u, v, 0)
+     | Link_up (u, v) -> (u, v, 1)
+     | Node_down n -> (n, -1, 0)
+     | Node_up n -> (n, -1, 1)
+   in
+   Obs.Flight_recorder.note ~now:(Sim.now t.sim) ~kind:Obs.Flight_recorder.k_topo
+     ~node ~flow:(-1) ~a ~b);
   if Obs.Trace.enabled () then begin
     let name, attrs =
       match ev with
@@ -349,6 +358,8 @@ let deliver_data t ~via ~node ~port bytes delay =
         Obs.Metrics.incr t.stats.h_dropped_by_failure
       else begin
         Obs.Metrics.incr t.stats.h_data_packets;
+        Obs.Flight_recorder.note ~now:(Sim.now t.sim)
+          ~kind:Obs.Flight_recorder.k_deliver ~node ~flow:(-1) ~a:via ~b:port;
         if Obs.Trace.enabled () then
           Obs.Trace.instant ~cat:"net" ~node "data.rx"
             ~attrs:[ Obs.Trace.int "from" via; Obs.Trace.int "port" port ];
@@ -385,6 +396,8 @@ let port_host = -2
 
 let host_inject ?(delay = 0.0) t ~node bytes =
   Obs.Metrics.incr t.stats.h_data_injected;
+  Obs.Flight_recorder.note ~now:(Sim.now t.sim) ~kind:Obs.Flight_recorder.k_inject
+    ~node ~flow:(-1) ~a:(Bytes.length bytes) ~b:0;
   Sim.schedule
     ?tag:(delivery_tag t ~kind:"inject" ~node bytes)
     t.sim ~delay

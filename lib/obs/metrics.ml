@@ -105,6 +105,19 @@ let observe h v =
 let samples h = List.rev h.h_samples
 let hcount h = h.h_count
 
+(* Estimated percentile from the log2 buckets (linear interpolation
+   inside the target bucket).  Validation and interpolation live in
+   {!Quantile}, the same implementation backing [Harness.Stats], so both
+   reject the same p-ranges with the same semantics. *)
+let percentile_opt h p =
+  Quantile.of_buckets_opt ~who:"Metrics.percentile" p ~count:h.h_count
+    ~buckets:h.h_buckets
+
+let percentile h p =
+  match percentile_opt h p with
+  | Some v -> v
+  | None -> invalid_arg "Metrics.percentile: empty histogram"
+
 (* Lower edge of bucket [i]: 0 for bucket 0, else 2^(i-1). *)
 let bucket_floor i = if i = 0 then 0.0 else Float.of_int (1 lsl (i - 1))
 

@@ -24,6 +24,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("ez-internals", Test_ez_internals.suite);
       ("obs", Test_obs.suite);
+      ("observability", Test_observability.suite);
       ("mc", Test_mc.suite);
       ("scale", Test_scale.suite);
       ("traffic", Test_traffic.suite);
