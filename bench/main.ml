@@ -8,6 +8,7 @@
              dune exec bench/main.exe -- traffic (traffic audit -> BENCH_traffic.json)
              dune exec bench/main.exe -- soak    (soak monitor -> BENCH_soak.json)
              dune exec bench/main.exe -- obs     (observability overhead -> BENCH_obs.json)
+             dune exec bench/main.exe -- intent  (intent compiler -> BENCH_intent.json)
              dune exec bench/main.exe -- check --baseline B.json --current C.json
 
    With [--json FILE] every headline number is additionally written to
@@ -28,6 +29,7 @@ let scale_mode = Array.exists (fun a -> a = "scale") Sys.argv
 let traffic_mode = Array.exists (fun a -> a = "traffic") Sys.argv
 let soak_mode = Array.exists (fun a -> a = "soak") Sys.argv
 let obs_mode = Array.exists (fun a -> a = "obs") Sys.argv
+let intent_mode = Array.exists (fun a -> a = "intent") Sys.argv
 let check_mode = Array.exists (fun a -> a = "check") Sys.argv
 
 let flag_value name =
@@ -43,6 +45,7 @@ let json_out =
   | None when traffic_mode -> Some "BENCH_traffic.json"
   | None when soak_mode -> Some "BENCH_soak.json"
   | None when obs_mode -> Some "BENCH_obs.json"
+  | None when intent_mode -> Some "BENCH_intent.json"
   | out -> out
 
 let check_against = flag_value "--check"
@@ -501,6 +504,95 @@ let run_figures () =
 
   run_bechamel ()
 
+(* ------------------------------------------------------------------ *)
+(* Intent subsuite: declarative policies compiled to update streams     *)
+(* ------------------------------------------------------------------ *)
+
+let run_intent () =
+  Printf.printf "P4Update intent subsuite (%s mode)\n" (if quick then "quick" else "full");
+  section "Intent compiler: canonical compile + incremental drain diffs";
+  let topo = Topo.Topologies.b4 () in
+  let w = Harness.World.make ~seed:7 topo in
+  let g = Netsim.graph w.Harness.World.net in
+  let profile =
+    { Harness.Intent_churn.default_profile with
+      Harness.Intent_churn.ip_flows = (if quick then 24 else 60) }
+  in
+  let ic = Harness.Intent_churn.create ~profile w in
+  let program = Harness.Intent_churn.program ic in
+  let row name unit_ value = emit ~prefix:"intent" ("b4/" ^ name) unit_ value in
+  let flows = List.length program.Intent.Lang.flows in
+  row "flows" "flows" (float_of_int flows);
+  row "members" "flows" (float_of_int (Harness.Intent_churn.members ic));
+  let reps = ref 0 in
+  let started = Dessim.Wallclock.now_s () in
+  while Dessim.Wallclock.elapsed_s ~since:started < 0.2 do
+    ignore (Intent.Compiler.create g program);
+    incr reps
+  done;
+  let full_ns = 1e9 *. Dessim.Wallclock.elapsed_s ~since:started /. float_of_int !reps in
+  row "full_compile" "ns/run" full_ns;
+  (* Incremental drain/undrain cycles over every link the program uses:
+     per-event latency and the diff footprint vs a full recompile. *)
+  let comp = Intent.Compiler.create g program in
+  let drains =
+    let used = Hashtbl.create 64 in
+    List.iter
+      (fun (_, ms) ->
+        List.iter
+          (fun path ->
+            let rec walk = function
+              | a :: (b :: _ as rest) ->
+                Hashtbl.replace used (Intent.Lang.ekey a b) ();
+                walk rest
+              | _ -> ()
+            in
+            walk path)
+          ms)
+      (Intent.Compiler.assignment comp);
+    Hashtbl.fold (fun k () acc -> k :: acc) used [] |> List.sort compare
+  in
+  let events = ref 0 and recomputed = ref 0 and changed = ref 0 and max_diff = ref 0 in
+  let started = Dessim.Wallclock.now_s () in
+  List.iter
+    (fun (u, v) ->
+      List.iter
+        (fun ev ->
+          let d = Intent.Compiler.apply comp ev in
+          incr events;
+          recomputed := !recomputed + d.Intent.Compiler.d_recomputed;
+          changed := !changed + List.length d.Intent.Compiler.d_changes;
+          max_diff := max !max_diff d.Intent.Compiler.d_recomputed)
+        [ Intent.Compiler.Drain (u, v); Intent.Compiler.Undrain (u, v) ])
+    drains;
+  let incr_ns = 1e9 *. Dessim.Wallclock.elapsed_s ~since:started /. float_of_int !events in
+  row "incremental_event" "ns/run" incr_ns;
+  row "drain_events" "events" (float_of_int !events);
+  row "recompiled_per_event" "count" (float_of_int !recomputed /. float_of_int !events);
+  row "changed_per_event" "count" (float_of_int !changed /. float_of_int !events);
+  row "max_diff" "count" (float_of_int !max_diff);
+  (* The acceptance bound: the largest incremental footprint stays below
+     a full recompilation. *)
+  row "incremental_below_full" "bool" (if !max_diff < flows then 1.0 else 0.0);
+
+  section "Intent churn through the scale engine (drains + TE sweeps)";
+  let cfg = Harness.Run_config.make ~seed:5 ~recorder:false ~intent_churn:true () in
+  let wl =
+    { Harness.Scale.default_workload with
+      Harness.Scale.wl_updates = (if quick then 200 else 1000);
+      wl_flows = (if quick then 24 else 60);
+      wl_arrival_mean_ms = 8.0;
+      wl_horizon_ms = 600_000.0 }
+  in
+  let r = Harness.Scale.run ~workload:wl cfg (Topo.Topologies.b4 ()) in
+  Format.printf "%a@." Harness.Scale.pp r;
+  row "updates_pushed" "updates" (float_of_int r.Harness.Scale.sr_updates_pushed);
+  row "updates_completed" "updates" (float_of_int r.Harness.Scale.sr_updates_completed);
+  row "intent_events" "events" (float_of_int r.Harness.Scale.sr_churned);
+  row "update_p99" "ms" r.Harness.Scale.sr_p99_ms;
+  row "prep_per_s" "updates/s" r.Harness.Scale.sr_prep_per_s;
+  row "violations" "count" (float_of_int (List.length r.Harness.Scale.sr_violations))
+
 let () =
   if check_mode then begin
     (* Standalone gate: compare two already-written row files. *)
@@ -516,6 +608,7 @@ let () =
     else if traffic_mode then run_traffic ()
     else if soak_mode then run_soak ()
     else if obs_mode then run_obs ()
+    else if intent_mode then run_intent ()
     else run_figures ();
     (match json_out with Some path -> write_json_rows path | None -> ());
     (match baseline_out with

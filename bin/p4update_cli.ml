@@ -92,7 +92,7 @@ let obs_term =
 
 (* One Run_config per invocation: flags override [Run_config.default]. *)
 let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
-    ?reorder_window_ms ?obs ?live_top () =
+    ?reorder_window_ms ?obs ?live_top ?intent_churn () =
   let recorder, incident_dir, tick_ms, series_out =
     match obs with
     | None -> (None, None, None, None)
@@ -101,7 +101,7 @@ let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
   in
   Harness.Run_config.make ~seed ?runs ?iterations ?congestion ?trace_sink
     ?fault_plan ?reorder_window_ms ?recorder ?incident_dir ?tick_ms ?series_out
-    ?live_top ()
+    ?live_top ?intent_churn ()
 
 let system_conv =
   let parse = function
@@ -578,8 +578,16 @@ let scale_cmd =
          & info [ "probe-every" ] ~docv:"N"
              ~doc:"Invariant probe every N bursts (0 disables).")
   in
-  let run (name, build) seed updates flows arrival_mean burst churn probe_every obs =
-    let cfg = cfg_of ~seed ~obs () in
+  let intent_churn_arg =
+    Arg.(value & flag
+         & info [ "intent-churn" ]
+             ~doc:"Source churn from the intent layer (seeded drain/undrain \
+                   cycles and TE re-pins compiled into correlated bursts) \
+                   instead of Poisson path flips.")
+  in
+  let run (name, build) seed updates flows arrival_mean burst churn probe_every
+      intent_churn obs =
+    let cfg = cfg_of ~seed ~obs ~intent_churn () in
     let workload =
       { Harness.Scale.default_workload with
         wl_updates = updates; wl_flows = flows; wl_arrival_mean_ms = arrival_mean;
@@ -608,7 +616,7 @@ let scale_cmd =
           $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg
-          $ obs_term)
+          $ intent_churn_arg $ obs_term)
 
 (* --- traffic --- *)
 
@@ -700,8 +708,17 @@ let soak_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the per-cycle leak readings.")
   in
+  let churn_arg =
+    Arg.(value
+         & opt (enum [ ("poisson", false); ("intent", true) ]) false
+         & info [ "churn" ] ~docv:"KIND"
+             ~doc:"Churn source: $(b,poisson) flips random flow pairs \
+                   independently; $(b,intent) drives seeded drain/undrain \
+                   maintenance cycles and TE re-pins through the intent \
+                   compiler, one correlated burst per event.")
+  in
   let run (name, build) seed cycles cycle_ms population updates gap fault quick verbose
-      obs =
+      intent_churn obs =
     let base =
       if quick then Harness.Soak.quick_config else Harness.Soak.default_config
     in
@@ -713,11 +730,13 @@ let soak_cmd =
           sk_population = population; sk_updates_per_cycle = updates;
           sk_probe_gap_ms = gap; sk_control_fault_prob = fault }
     in
-    let cfg = cfg_of ~seed ~obs () in
+    let cfg = cfg_of ~seed ~obs ~intent_churn () in
     Printf.printf
-      "soak run on %s: %d cycles x %.0f ms, %d flows, faults + churn + probes (seed %d)\n"
+      "soak run on %s: %d cycles x %.0f ms, %d flows, faults + %s churn + probes (seed %d)\n"
       name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
-      config.Harness.Soak.sk_population seed;
+      config.Harness.Soak.sk_population
+      (if intent_churn then "intent" else "poisson")
+      seed;
     let r = Harness.Soak.run ~config cfg (build ()) in
     Format.printf "%a@." Harness.Soak.pp r;
     if verbose || not (Harness.Soak.ok r) then
@@ -737,7 +756,163 @@ let soak_cmd =
           $ topo_arg ()
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ cycles_arg $ cycle_ms_arg $ population_arg $ updates_arg $ gap_arg
-          $ fault_arg $ quick_arg $ verbose_arg $ obs_term)
+          $ fault_arg $ quick_arg $ verbose_arg $ churn_arg $ obs_term)
+
+(* --- intent --- *)
+
+let intent_cmd =
+  let mode_arg =
+    Arg.(required
+         & pos 0
+             (some (enum [ ("compile", `Compile); ("diff", `Diff); ("run", `Run) ]))
+             None
+         & info [] ~docv:"MODE"
+             ~doc:"$(b,compile) prints the concrete path assignment; $(b,diff) \
+                   applies the --event stream incrementally and prints every \
+                   diff; $(b,run) additionally lowers each diff into one \
+                   correlated update burst on a simulated world and audits it \
+                   with live probe traffic (exit 1 on any violation).")
+  in
+  let file_arg =
+    Arg.(required & opt (some file) None
+         & info [ "file"; "f" ] ~docv:"FILE"
+             ~doc:"Intent program (see examples/*.intent for the syntax).")
+  in
+  let event_arg =
+    Arg.(value & opt_all string []
+         & info [ "event"; "e" ] ~docv:"EVENT"
+             ~doc:"Event to apply, repeatable, in order: 'drain U V', \
+                   'undrain U V', 'link-down U V', 'link-up U V', \
+                   'node-down X', 'node-up X', 'capacity U V C', \
+                   'flow <intent line>' (add/replace), 'remove NAME'.")
+  in
+  let parse_event s =
+    let fail () = failwith (Printf.sprintf "unparseable event %S" s) in
+    let num w = match int_of_string_opt w with Some n -> n | None -> fail () in
+    match String.split_on_char ' ' s |> List.filter (fun w -> w <> "") with
+    | [ "drain"; u; v ] -> Intent.Compiler.Drain (num u, num v)
+    | [ "undrain"; u; v ] -> Intent.Compiler.Undrain (num u, num v)
+    | [ "link-down"; u; v ] -> Intent.Compiler.Link_down (num u, num v)
+    | [ "link-up"; u; v ] -> Intent.Compiler.Link_up (num u, num v)
+    | [ "node-down"; x ] -> Intent.Compiler.Node_down (num x)
+    | [ "node-up"; x ] -> Intent.Compiler.Node_up (num x)
+    | [ "capacity"; u; v; c ] ->
+      (match float_of_string_opt c with
+      | Some c -> Intent.Compiler.Capacity_set (num u, num v, c)
+      | None -> fail ())
+    | "flow" :: _ ->
+      (match Intent.Lang.of_string s with
+      | Ok { Intent.Lang.flows = [ fi ]; _ } -> Intent.Compiler.Set_flow fi
+      | _ -> fail ())
+    | [ "remove"; n ] -> Intent.Compiler.Remove_flow n
+    | _ -> fail ()
+  in
+  let path_str p = String.concat "-" (List.map string_of_int p) in
+  let members_str = function
+    | [] -> "(unroutable)"
+    | ms -> String.concat " | " (List.map path_str ms)
+  in
+  let print_assignment comp =
+    List.iter
+      (fun (name, ms) -> Printf.printf "  %-12s %s\n" name (members_str ms))
+      (Intent.Compiler.assignment comp);
+    (match Intent.Compiler.degraded comp with
+    | [] -> ()
+    | d -> Printf.printf "  degraded: %s\n" (String.concat ", " d));
+    Printf.printf "  (%d flows, %d member paths)\n"
+      (Intent.Compiler.flow_count comp)
+      (Intent.Compiler.member_count comp)
+  in
+  let print_diff ev (d : Intent.Compiler.diff) =
+    Printf.printf "%s: %d/%d flows recompiled, %d changed\n"
+      (Intent.Compiler.event_to_string ev)
+      d.Intent.Compiler.d_recomputed d.Intent.Compiler.d_flow_count
+      (List.length d.Intent.Compiler.d_changes);
+    List.iter
+      (fun (ch : Intent.Compiler.change) ->
+        Printf.printf "  %-12s %s -> %s\n" ch.Intent.Compiler.ch_name
+          (members_str ch.Intent.Compiler.ch_old)
+          (members_str ch.Intent.Compiler.ch_new))
+      d.Intent.Compiler.d_changes
+  in
+  let run mode (name, build) seed file events =
+    try
+      let topo = build () in
+      let program =
+        match Intent.Lang.load file with
+        | Ok p -> p
+        | Error e ->
+          Printf.eprintf "%s: %s\n" file e;
+          exit 2
+      in
+      let events = List.map parse_event events in
+      match mode with
+      | `Compile ->
+        let comp = Intent.Compiler.create topo.Topo.Topologies.graph program in
+        Printf.printf "%s compiled on %s:\n" file name;
+        print_assignment comp
+      | `Diff ->
+        let comp = Intent.Compiler.create topo.Topo.Topologies.graph program in
+        List.iter (fun ev -> print_diff ev (Intent.Compiler.apply comp ev)) events;
+        Printf.printf "final assignment:\n";
+        print_assignment comp
+      | `Run ->
+        let w = Harness.World.make ~seed topo in
+        let g = Netsim.graph w.Harness.World.net in
+        let ctrl = w.Harness.World.controller in
+        let comp = Intent.Compiler.create g program in
+        let bridge = Intent.Bridge.create () in
+        let install ~flow_id ~src ~dst ~size ~path =
+          ignore (Harness.World.install_flow ~flow_id w ~src ~dst ~size ~path)
+        in
+        let retire ~flow_id = P4update.Controller.retire_flow ctrl ~flow_id in
+        ignore
+          (Intent.Bridge.lower bridge ~program
+             ~diff:(Intent.Compiler.bootstrap_diff comp) ~install ~retire);
+        Printf.printf "%s on %s: %d member flows installed (seed %d)\n" file name
+          (Intent.Compiler.member_count comp) seed;
+        let tr = Harness.Traffic.attach w in
+        Harness.Traffic.start tr;
+        let stop = ref 200.0 in
+        Harness.Traffic.inject_until tr ~stop_ms:!stop;
+        ignore (Harness.World.run ~until:150.0 w);
+        let pushed = ref 0 in
+        List.iter
+          (fun ev ->
+            let d = Intent.Compiler.apply comp ev in
+            let reqs =
+              Intent.Bridge.lower bridge
+                ~program:(Intent.Compiler.program comp) ~diff:d ~install ~retire
+            in
+            let prepared = P4update.Controller.prepare_batch ctrl reqs in
+            print_diff ev d;
+            Printf.printf "  -> burst of %d updates\n" (List.length prepared);
+            List.iter (fun p -> P4update.Controller.push ctrl p) prepared;
+            pushed := !pushed + List.length prepared;
+            stop := !stop +. 250.0;
+            Harness.Traffic.inject_until tr ~stop_ms:!stop;
+            ignore (Harness.World.run ~until:(!stop -. 50.0) w))
+          events;
+        ignore (Harness.World.run w);
+        Harness.Traffic.drain tr;
+        let s = Harness.Traffic.finalize tr in
+        Format.printf "%a@." Harness.Traffic.pp s;
+        let v = Harness.Traffic.violations s in
+        Printf.printf "%d updates pushed, %d audit violations\n" !pushed v;
+        if v > 0 then exit 1
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "intent"
+       ~doc:
+         "Compile a declarative intent program (shortest-path, waypoint, ECMP \
+          spread, drains) to concrete member paths, replay topology/intent \
+          events through the incremental recompiler, and optionally lower the \
+          diffs into audited consistent-update bursts.")
+    Term.(const run $ mode_arg $ topo_arg () $ seed_arg ~default:7 $ file_arg
+          $ event_arg)
 
 (* --- top --- *)
 
@@ -819,4 +994,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
-            scale_cmd; traffic_cmd; soak_cmd; top_cmd; import_cmd ]))
+            scale_cmd; traffic_cmd; soak_cmd; intent_cmd; top_cmd; import_cmd ]))

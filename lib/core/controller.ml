@@ -84,8 +84,15 @@ let retrigger_budget = 3
 
 let net t = t.net
 
-let register_flow ?(version = 1) t ~src ~dst ~size ~path =
-  let flow_id = Topo.Traffic.flow_id_of_pair ~src ~dst land (Wire.flow_space - 1) in
+let register_flow ?(version = 1) ?flow_id t ~src ~dst ~size ~path =
+  let flow_id =
+    match flow_id with
+    | Some id ->
+      if id < 0 || id >= Wire.flow_space then
+        invalid_arg "Controller.register_flow: flow id out of flow space";
+      id
+    | None -> Topo.Traffic.flow_id_of_pair ~src ~dst land (Wire.flow_space - 1)
+  in
   let flow = { flow_id; src; dst; size; version; path; last_type = Wire.Sl } in
   Hashtbl.replace t.flow_db flow_id flow;
   flow

@@ -61,9 +61,20 @@ val net : t -> Netsim.t
 (** [register_flow t ~src ~dst ~size ~path] adds a flow (version 1 by
     default, assumed already installed in the data plane, e.g. via
     {!Switch.install_initial}).  Returns the flow record.  The flow id is
-    {!Topo.Traffic.flow_id_of_pair} masked into {!Wire.flow_space}. *)
+    {!Topo.Traffic.flow_id_of_pair} masked into {!Wire.flow_space} unless
+    [?flow_id] overrides it — the intent bridge uses the override to give
+    each ECMP member of one (src, dst) pair its own flow identity.
+    Raises [Invalid_argument] when an explicit id falls outside the flow
+    space. *)
 val register_flow :
-  ?version:int -> t -> src:int -> dst:int -> size:int -> path:int list -> flow
+  ?version:int ->
+  ?flow_id:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  path:int list ->
+  flow
 
 (** Default size assigned to flows the data plane reports via FRM. *)
 val default_flow_size : int

@@ -56,6 +56,7 @@ type t = {
   tick_ms : float option;
   series_out : string option;
   live_top : bool;
+  intent_churn : bool;
 }
 
 let default =
@@ -72,12 +73,14 @@ let default =
     tick_ms = None;
     series_out = None;
     live_top = false;
+    intent_churn = false;
   }
 
 let make ?(seed = default.seed) ?(runs = default.runs)
     ?(iterations = default.iterations) ?(congestion = default.congestion)
     ?trace_sink ?fault_plan ?reorder_window_ms ?(recorder = default.recorder)
-    ?incident_dir ?tick_ms ?series_out ?(live_top = default.live_top) () =
+    ?incident_dir ?tick_ms ?series_out ?(live_top = default.live_top)
+    ?(intent_churn = default.intent_churn) () =
   {
     seed;
     runs;
@@ -91,6 +94,7 @@ let make ?(seed = default.seed) ?(runs = default.runs)
     tick_ms;
     series_out;
     live_top;
+    intent_churn;
   }
 
 let with_seed seed cfg = { cfg with seed }

@@ -129,7 +129,8 @@ let retime_prep (w : World.t) requests =
       match World.find_flow w ~flow_id with
       | Some f ->
         ignore
-          (World.install_flow clone ~src:f.P4update.Controller.src
+          (World.install_flow clone ~flow_id:f.P4update.Controller.flow_id
+             ~src:f.P4update.Controller.src
              ~dst:f.P4update.Controller.dst ~size:f.P4update.Controller.size
              ~path:f.P4update.Controller.path)
       | None -> ())
@@ -159,11 +160,28 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
   let n = Graph.node_count g in
   let wl = workload in
   if wl.wl_flows < 1 || wl.wl_burst < 1 then invalid_arg "Scale.run: empty workload";
+  (* Intent mode: the population and every burst come from the compiled
+     intent program instead of independently rotating slots.  The
+     default (slot) path below is untouched so its pins stay stable. *)
+  let ic =
+    if cfg.Run_config.intent_churn then
+      Some (Intent_churn.create ~profile:{ Intent_churn.default_profile with
+                                           Intent_churn.ip_flows = wl.wl_flows } w)
+    else None
+  in
   (* Population: admitted one by one so the RNG draw order (and hence the
      whole run) is a pure function of the seed. *)
-  let slots = Array.init wl.wl_flows (fun _ -> admit w g ~n ~size:wl.wl_flow_size) in
+  let slots =
+    match ic with
+    | Some _ -> [||]
+    | None -> Array.init wl.wl_flows (fun _ -> admit w g ~n ~size:wl.wl_flow_size)
+  in
   (* Ride-along layers see the world only after the population exists. *)
   let hk = match hooks with None -> no_hooks | Some f -> f w in
+  Option.iter
+    (fun ic ->
+      Intent_churn.set_on_install ic (fun ~flow_id -> hk.h_admitted ~flow_id))
+    ic;
   let monitor = Invariants.create w in
   (* Completion capture: push time per (flow, version); the report hook
      turns the matching success UFM into one completion sample. *)
@@ -205,9 +223,37 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
   let probes = ref 0 in
   let prep_s = ref 0.0 in
   let prepared_n = ref 0 in
+  let push_prepared prepared =
+    let now = Sim.now w.World.sim in
+    List.iter
+      (fun (p : P4update.Controller.prepared) ->
+        Hashtbl.replace pending (p.P4update.Controller.p_flow, p.P4update.Controller.p_version) now;
+        P4update.Controller.push w.World.controller p;
+        incr pushed;
+        hk.h_pushed ~flow_id:p.P4update.Controller.p_flow
+          ~version:p.P4update.Controller.p_version)
+      prepared
+  in
+  (* One intent burst: drain/undrain or TE-sweep event, incrementally
+     recompiled and lowered into one correlated batch.  The timing span
+     covers compile + lowering + preparation — for intent workloads the
+     recompile IS part of the preparation cost. *)
+  let intent_burst ic =
+    let started = Dessim.Wallclock.now_s () in
+    let prepared = Intent_churn.burst ic in
+    prep_s := !prep_s +. Dessim.Wallclock.elapsed_s ~since:started;
+    prepared_n := !prepared_n + List.length prepared;
+    if prepared = [] then incr underfilled;
+    push_prepared prepared;
+    incr bursts;
+    if wl.wl_probe_every > 0 && !bursts mod wl.wl_probe_every = 0 then begin
+      incr probes;
+      Invariants.check_structural monitor (World.flows w)
+    end
+  in
   (* One arrival burst: pick [wl_burst] distinct slots, rotate each onto
      its next alternative path, prepare the whole batch at once, push. *)
-  let burst () =
+  let slot_burst () =
     let remaining = wl.wl_updates - !pushed in
     let want = min wl.wl_burst remaining in
     let chosen = Hashtbl.create (2 * want) in
@@ -237,15 +283,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
     let prepared = P4update.Controller.prepare_batch w.World.controller requests in
     prep_s := !prep_s +. Dessim.Wallclock.elapsed_s ~since:started;
     prepared_n := !prepared_n + List.length prepared;
-    let now = Sim.now w.World.sim in
-    List.iter
-      (fun (p : P4update.Controller.prepared) ->
-        Hashtbl.replace pending (p.P4update.Controller.p_flow, p.P4update.Controller.p_version) now;
-        P4update.Controller.push w.World.controller p;
-        incr pushed;
-        hk.h_pushed ~flow_id:p.P4update.Controller.p_flow
-          ~version:p.P4update.Controller.p_version)
-      prepared;
+    push_prepared prepared;
     incr bursts;
     (* Flow churn: one randomly chosen slot retires (its flow keeps its
        installed final state, harmlessly) and a fresh pair is admitted. *)
@@ -260,6 +298,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
       Invariants.check_structural monitor (World.flows w)
     end
   in
+  let burst () = match ic with Some ic -> intent_burst ic | None -> slot_burst () in
   let rec arrival () =
     if !pushed < wl.wl_updates then begin
       burst ();
@@ -287,10 +326,19 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
      versions purely for measurement — so it runs against a throwaway
      clone carrying the same flows ({!retime_prep}). *)
   let requests =
-    Array.to_list
-      (Array.map
-         (fun s -> (s.flow_id, s.paths.((s.cur + 1) mod Array.length s.paths)))
-         slots)
+    match ic with
+    | Some _ ->
+      (* Intent mode has no rotation slots; re-time preparation over the
+         live member flows at their current paths. *)
+      List.map
+        (fun (f : P4update.Controller.flow) ->
+          (f.P4update.Controller.flow_id, f.P4update.Controller.path))
+        (World.flows w)
+    | None ->
+      Array.to_list
+        (Array.map
+           (fun s -> (s.flow_id, s.paths.((s.cur + 1) mod Array.length s.paths)))
+           slots)
   in
   let prep_per_s =
     if !prep_s > 0.01 then float_of_int !prepared_n /. !prep_s
@@ -303,7 +351,10 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
     sr_updates_completed = !completed;
     sr_bursts = !bursts;
     sr_underfilled = !underfilled;
-    sr_churned = !churned;
+    sr_churned =
+      (match ic with
+      | Some ic -> (Intent_churn.stats ic).Intent_churn.ic_intent_events
+      | None -> !churned);
     sr_probes = !probes;
     sr_completion_ms = samples;
     sr_p50_ms = p50;

@@ -191,10 +191,27 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   let g_flows = Obs.Metrics.gauge metrics "soak.flow_db" in
   let c_cycles = Obs.Metrics.counter metrics "soak.cycles" in
   (* Population first: the RNG draw order makes the whole run a pure
-     function of the seed. *)
+     function of the seed.  With [--churn intent] the population is the
+     compiled intent program's member flows and every burst comes from
+     intent events (drains, TE sweeps, plus the scheduled element
+     failures folded in as compiler events); the default slot path below
+     is untouched so its determinism pins stay byte-identical. *)
+  let ic =
+    if cfg.Run_config.intent_churn then
+      Some
+        (Intent_churn.create
+           ~profile:
+             { Intent_churn.default_profile with
+               Intent_churn.ip_flows = sk.sk_population }
+           w)
+    else None
+  in
   let used : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
   let slots =
-    Array.init sk.sk_population (fun _ -> admit w g ~n ~size:sk.sk_flow_size ~used)
+    match ic with
+    | Some _ -> [||]
+    | None ->
+      Array.init sk.sk_population (fun _ -> admit w g ~n ~size:sk.sk_flow_size ~used)
   in
   let tr =
     Traffic.attach
@@ -203,6 +220,12 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
           Traffic.tw_mean_gap_ms = sk.sk_probe_gap_ms; tw_stop_ms = 0.0 }
       w
   in
+  (* Member flows installed mid-run (an ECMP member regaining a path)
+     must be announced to the auditor like any churn admission. *)
+  Option.iter
+    (fun ic ->
+      Intent_churn.set_on_install ic (fun ~flow_id -> Traffic.note_admitted tr ~flow_id))
+    ic;
   let monitor = Invariants.create w in
   (* Element down-time bookkeeping for the blackhole excuse: a probe
      injected while (or shortly before / shortly after) an element was
@@ -310,7 +333,22 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   (* One arrival burst: distinct slots rotated onto their next paths,
      prepared as a batch, pushed. *)
   let quota = ref 0 in
-  let burst () =
+  let push_prepared prepared =
+    let now = Sim.now sim in
+    List.iter
+      (fun (p : P4update.Controller.prepared) ->
+        Hashtbl.replace pending
+          (p.P4update.Controller.p_flow, p.P4update.Controller.p_version)
+          now;
+        P4update.Controller.push w.World.controller p;
+        incr pushed;
+        quota := !quota - 1;
+        Traffic.note_pushed tr ~flow_id:p.P4update.Controller.p_flow
+          ~version:p.P4update.Controller.p_version)
+      prepared
+  in
+  let intent_burst ic = push_prepared (Intent_churn.burst ic) in
+  let slot_burst () =
     let want = min sk.sk_burst !quota in
     let chosen = Hashtbl.create (2 * want) in
     let picked = ref [] in
@@ -332,19 +370,9 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         !picked
     in
     let prepared = P4update.Controller.prepare_batch w.World.controller requests in
-    let now = Sim.now sim in
-    List.iter
-      (fun (p : P4update.Controller.prepared) ->
-        Hashtbl.replace pending
-          (p.P4update.Controller.p_flow, p.P4update.Controller.p_version)
-          now;
-        P4update.Controller.push w.World.controller p;
-        incr pushed;
-        quota := !quota - 1;
-        Traffic.note_pushed tr ~flow_id:p.P4update.Controller.p_flow
-          ~version:p.P4update.Controller.p_version)
-      prepared
+    push_prepared prepared
   in
+  let burst () = match ic with Some ic -> intent_burst ic | None -> slot_burst () in
   (* Churn: retire the slot's flow entirely — Flow DB, push history and
      abort bookkeeping must all return to baseline, which is exactly
      what the leak readings check — and admit a fresh pair. *)
@@ -389,10 +417,12 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
     Sim.schedule_at sim ~time:start (fun () ->
         fault_until := start +. sk.sk_fault_window_ms;
         schedule_failures ~start;
-        for _ = 1 to sk.sk_churn_per_cycle do
-          let at = start +. Sim.uniform sim ~bound:(sk.sk_cycle_ms *. 0.6) in
-          Sim.schedule_at sim ~time:at churn
-        done;
+        (* Intent mode: churn IS the intent-event stream; pair flips off. *)
+        if Option.is_none ic then
+          for _ = 1 to sk.sk_churn_per_cycle do
+            let at = start +. Sim.uniform sim ~bound:(sk.sk_cycle_ms *. 0.6) in
+            Sim.schedule_at sim ~time:at churn
+          done;
         quota := sk.sk_updates_per_cycle;
         let stop_arrivals = start +. sk.sk_cycle_ms -. 1200.0 in
         let rec arrival () =
@@ -471,11 +501,19 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
       leak "event heap grew across cycles: %d -> %d pending" first.cy_pending_events
         last.cy_pending_events
   | _ -> ());
+  (* Intent mode never retires member flows, so the Flow DB baseline is
+     the bridge's install count (monotone; in practice fixed at
+     bootstrap) instead of the slot population. *)
+  let baseline_flows =
+    match ic with
+    | Some ic -> (Intent_churn.stats ic).Intent_churn.ic_installs
+    | None -> sk.sk_population
+  in
   List.iter
     (fun c ->
-      if c.cy_flows <> sk.sk_population then
+      if c.cy_flows <> baseline_flows then
         leak "flow DB off baseline at cycle %d: %d flows (population %d)" c.cy_index
-          c.cy_flows sk.sk_population;
+          c.cy_flows baseline_flows;
       if c.cy_in_flight <> 0 then
         leak "traffic flight table not drained at cycle %d: %d packets" c.cy_index
           c.cy_in_flight)
@@ -529,7 +567,10 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
     so_events = stats.Sim.st_events;
     so_updates_pushed = !pushed;
     so_updates_completed = !completed;
-    so_churned = !churned;
+    so_churned =
+      (match ic with
+      | Some ic -> (Intent_churn.stats ic).Intent_churn.ic_intent_events
+      | None -> !churned);
     so_element_failures = !element_failures;
     so_recovery = rstats;
     so_withdrawals = withdrawals;

@@ -36,8 +36,21 @@
    - [Mixed]      no consistent assignment (an illegal version
                   downgrade), or the packet was delivered at a node
                   other than the flow's destination — a true violation;
-   - [Loop]       a node repeats in the trajectory;
+   - [Loop]       a directed edge repeats in the trajectory: the packet
+                  re-traversed a hop it already took, which no sequence
+                  of forward version switches can explain — some FIB
+                  instant cycled it back;
    - [Blackhole]  never delivered by the time the plane drained.
+
+   A node revisit with two different outgoing edges is NOT flagged as a
+   loop by itself: bottom-up installation permits it.  If the old path
+   is [..a,x,b..] and the new path [..c,x,a..], a packet can leave x on
+   the old rule, and while it transits a downstream node flips, routing
+   it back through x on the new rule — two FIB instants, each loop-free
+   (exactly the switchover ride [New_path] describes).  Such a revisit
+   must still admit a monotone version assignment; otherwise it counts
+   as [Mixed].  A genuine forwarding loop cycles on one instant's rules
+   and therefore repeats an edge.
 
    Absent injected faults, a correct update plane yields zero Mixed,
    Loop and Blackhole packets at any update rate. *)
@@ -366,16 +379,15 @@ let feasible_trajectory history ~cap edges =
 
 let classify (st : flow_state) (pk : pkt) =
   let hops = List.rev pk.pk_hops in
-  let distinct = List.sort_uniq compare hops in
-  if List.length distinct < List.length hops then Loop
+  let edges = edges_of_path hops in
+  let distinct_edges = List.sort_uniq compare edges in
+  if List.length distinct_edges < List.length edges then Loop
   else if pk.pk_delivered_at < 0 then Blackhole
   else if pk.pk_delivered_at <> pk.pk_dst then Mixed (* misdelivered *)
-  else
-    let edges = edges_of_path hops in
-    if feasible_trajectory st.fl_history ~cap:pk.pk_version_at_inject edges then
-      Old_path
-    else if feasible_trajectory st.fl_history ~cap:max_int edges then New_path
-    else Mixed
+  else if feasible_trajectory st.fl_history ~cap:pk.pk_version_at_inject edges
+  then Old_path
+  else if feasible_trajectory st.fl_history ~cap:max_int edges then New_path
+  else Mixed
 
 let hash_combine h x = ((h * 1000003) lxor x) land 0x3FFFFFFF
 

@@ -12,8 +12,8 @@ type flow_spec = { fs_src : int; fs_dst : int; fs_size : int; fs_path : int list
 let flow ?(size = 100) ~src ~dst ~path () =
   { fs_src = src; fs_dst = dst; fs_size = size; fs_path = path }
 
-let install_flow w ~src ~dst ~size ~path =
-  let flow = P4update.Controller.register_flow w.controller ~src ~dst ~size ~path in
+let install_flow ?flow_id w ~src ~dst ~size ~path =
+  let flow = P4update.Controller.register_flow ?flow_id w.controller ~src ~dst ~size ~path in
   let labels = P4update.Label.of_path w.net path in
   List.iter
     (fun (l : P4update.Label.node_label) ->

@@ -26,9 +26,18 @@ val make :
 
 (** [install_flow w ~src ~dst ~size ~path] registers the flow with the
     controller and installs its version-1 forwarding state on every node
-    of [path].  Returns the flow record. *)
+    of [path].  Returns the flow record.  [?flow_id] overrides the
+    pair-derived id (see {!P4update.Controller.register_flow}); the
+    intent bridge needs it so ECMP members of one pair get distinct
+    identities. *)
 val install_flow :
-  t -> src:int -> dst:int -> size:int -> path:int list -> P4update.Controller.flow
+  ?flow_id:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  path:int list ->
+  P4update.Controller.flow
 
 (** [find_flow w ~flow_id] looks the flow up in the controller's DB. *)
 val find_flow : t -> flow_id:int -> P4update.Controller.flow option

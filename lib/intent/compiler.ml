@@ -1,0 +1,444 @@
+module G = Topo.Graph
+
+type event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int
+  | Node_up of int
+  | Capacity_set of int * int * float
+  | Drain of int * int
+  | Undrain of int * int
+  | Set_flow of Lang.flow_intent
+  | Remove_flow of string
+
+type change = {
+  ch_name : string;
+  ch_priority : int;
+  ch_old : int list list;
+  ch_new : int list list;
+}
+
+type diff = {
+  d_changes : change list;
+  d_recomputed : int;
+  d_flow_count : int;
+}
+
+type t = {
+  graph : G.t;
+  mutable program : Lang.t;
+  drained : (int * int, unit) Hashtbl.t;
+  down_links : (int * int, unit) Hashtbl.t;
+  down_nodes : (int, unit) Hashtbl.t;
+  assign : (string, int list list) Hashtbl.t;
+  mutable events_applied : int;
+  mutable recompiles : int;
+}
+
+let ekey = Lang.ekey
+
+let event_to_string = function
+  | Link_down (u, v) -> Printf.sprintf "link-down %d-%d" u v
+  | Link_up (u, v) -> Printf.sprintf "link-up %d-%d" u v
+  | Node_down x -> Printf.sprintf "node-down %d" x
+  | Node_up x -> Printf.sprintf "node-up %d" x
+  | Capacity_set (u, v, c) -> Printf.sprintf "capacity %d-%d=%g" u v c
+  | Drain (u, v) -> Printf.sprintf "drain %d-%d" u v
+  | Undrain (u, v) -> Printf.sprintf "undrain %d-%d" u v
+  | Set_flow fi -> Printf.sprintf "set-flow %s" fi.Lang.fi_name
+  | Remove_flow name -> Printf.sprintf "remove-flow %s" name
+
+(* Masks.  An edge is usable for a flow iff both endpoints and the link
+   are up, the link is not drained, and its capacity covers the flow's
+   demand.  The capacity-blind variants back the restore lower-bound
+   test, where ignoring capacity only makes the bound smaller (and the
+   affected-set superset larger), never unsound. *)
+let node_ok t n = not (Hashtbl.mem t.down_nodes n)
+
+let edge_up t u v =
+  not (Hashtbl.mem t.down_links (ekey u v)) && not (Hashtbl.mem t.drained (ekey u v))
+
+let edge_ok_for t ~demand u v =
+  edge_up t u v && G.capacity t.graph u v >= float_of_int demand
+
+let compile_flow t (fi : Lang.flow_intent) =
+  let node_ok = node_ok t in
+  let edge_ok = edge_ok_for t ~demand:fi.Lang.fi_demand in
+  let src = fi.Lang.fi_src and dst = fi.Lang.fi_dst in
+  match fi.Lang.fi_policy with
+  | Lang.Shortest_path -> (
+      match G.shortest_path_avoiding t.graph ~src ~dst ~node_ok ~edge_ok with
+      | Some p -> [ p ]
+      | None -> [])
+  | Lang.Waypoint via -> (
+      match G.shortest_path_avoiding t.graph ~src ~dst:via ~node_ok ~edge_ok with
+      | None -> []
+      | Some leg1 -> (
+          (* Leg 2 avoids leg-1 nodes (except the waypoint itself) so the
+             concatenation stays simple; when that masks [dst] away the
+             flow is degraded rather than installed with a loop. *)
+          let node_ok2 n = node_ok n && (n = via || not (List.mem n leg1)) in
+          match
+            G.shortest_path_avoiding t.graph ~src:via ~dst ~node_ok:node_ok2 ~edge_ok
+          with
+          | None -> []
+          | Some leg2 -> [ leg1 @ List.tl leg2 ]))
+  | Lang.Ecmp_spread k ->
+    G.k_shortest_paths_avoiding t.graph ~src ~dst ~k ~node_ok ~edge_ok
+
+let recompile_some t names =
+  let changes = ref [] in
+  List.iter
+    (fun name ->
+      match Lang.find t.program name with
+      | None -> ()
+      | Some fi ->
+        t.recompiles <- t.recompiles + 1;
+        let old_members =
+          Option.value (Hashtbl.find_opt t.assign name) ~default:[]
+        in
+        let new_members = compile_flow t fi in
+        Hashtbl.replace t.assign name new_members;
+        if old_members <> new_members then
+          changes :=
+            {
+              ch_name = name;
+              ch_priority = fi.Lang.fi_priority;
+              ch_old = old_members;
+              ch_new = new_members;
+            }
+            :: !changes)
+    names;
+  !changes
+
+let recompile_all t =
+  List.map (fun fi -> fi.Lang.fi_name) t.program.Lang.flows |> recompile_some t
+
+let create graph program =
+  (match Lang.validate program graph with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Intent.Compiler.create: " ^ e));
+  let t =
+    {
+      graph;
+      program;
+      drained = Hashtbl.create 16;
+      down_links = Hashtbl.create 16;
+      down_nodes = Hashtbl.create 16;
+      assign = Hashtbl.create 64;
+      events_applied = 0;
+      recompiles = 0;
+    }
+  in
+  List.iter (fun (u, v) -> Hashtbl.replace t.drained (ekey u v) ()) program.Lang.drains;
+  ignore (recompile_all t);
+  t
+
+let flow_count t = List.length t.program.Lang.flows
+
+let assignment t =
+  List.map
+    (fun fi ->
+      ( fi.Lang.fi_name,
+        Option.value (Hashtbl.find_opt t.assign fi.Lang.fi_name) ~default:[] ))
+    t.program.Lang.flows
+  |> List.sort compare
+
+let members t name = Option.value (Hashtbl.find_opt t.assign name) ~default:[]
+
+let is_degraded (fi : Lang.flow_intent) members =
+  match (fi.Lang.fi_policy, members) with
+  | _, [] -> true
+  | Lang.Ecmp_spread k, ms -> List.length ms < k
+  | _ -> false
+
+let degraded t =
+  List.filter_map
+    (fun fi ->
+      if is_degraded fi (members t fi.Lang.fi_name) then Some fi.Lang.fi_name else None)
+    t.program.Lang.flows
+
+let member_count t =
+  List.fold_left
+    (fun acc fi -> acc + List.length (members t fi.Lang.fi_name))
+    0 t.program.Lang.flows
+
+let events_applied t = t.events_applied
+let recompiles t = t.recompiles
+let program t = t.program
+let graph t = t.graph
+
+let path_uses_edge key path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> ekey a b = key || go rest
+    | _ -> false
+  in
+  go path
+
+let path_uses_node x path = List.mem x path
+
+(* Flows whose current assignment crosses the given element.  Exact for
+   removal events: only a flow routed over the element can be forced to
+   move by its loss. *)
+let users_of t pred =
+  List.filter_map
+    (fun fi ->
+      let name = fi.Lang.fi_name in
+      if List.exists pred (members t name) then Some name else None)
+    t.program.Lang.flows
+
+(* A waypoint flow with no current members can become routable when an
+   element is REMOVED: leg 1's canonical path moves, and with it the
+   node set leg 2 must avoid.  The users-of-element scan cannot see such
+   flows (they have no paths), so removal events recompute them too.
+   Shortest/ECMP flows need no such rider — their candidate sets shrink
+   monotonically, so a removal can never revive them. *)
+let degraded_waypoints ?keep t =
+  List.filter_map
+    (fun fi ->
+      match fi.Lang.fi_policy with
+      | Lang.Waypoint _
+        when members t fi.Lang.fi_name = []
+             && (match keep with None -> true | Some f -> f fi) ->
+        Some fi.Lang.fi_name
+      | _ -> None)
+    t.program.Lang.flows
+
+let union_names a b = a @ List.filter (fun n -> not (List.mem n a)) b
+
+(* Restore events (link/node up, undrain, capacity raise): recompute a
+   flow only when the canonical compilation could actually change, i.e.
+   when some path THROUGH the restored element lower-bounds at or below
+   the latency the flow currently gets.  The bound comes from full
+   single-source Dijkstras anchored at the restored element over the
+   capacity-blind masked graph; ties are included because an
+   equal-latency path can still win the (hops, node-id) tie-break. *)
+let eps = 1e-9
+
+let leg_latency t path = G.path_latency t.graph path
+
+(* [bound s d] must lower-bound the latency of any usable path from [s]
+   to [d] through the restored element. *)
+let restore_affected t ~bound =
+  List.filter_map
+    (fun fi ->
+      let name = fi.Lang.fi_name in
+      let ms = members t name in
+      let affected =
+        match fi.Lang.fi_policy with
+        | Lang.Shortest_path | Lang.Ecmp_spread _ ->
+          let worst =
+            if is_degraded fi ms then infinity
+            else
+              List.fold_left (fun acc p -> Float.max acc (leg_latency t p)) 0.0 ms
+          in
+          let b = bound fi.Lang.fi_src fi.Lang.fi_dst in
+          b < infinity && b <= worst +. eps
+        | Lang.Waypoint via ->
+          (* Per-leg test: a restored element can improve either leg
+             independently (leg 2's node exclusions make the whole-path
+             bound unsound). *)
+          let leg1, leg2 =
+            match ms with
+            | [ p ] ->
+              let rec split acc = function
+                | [] -> (List.rev acc, [])
+                | x :: rest when x = via -> (List.rev (x :: acc), x :: rest)
+                | x :: rest -> split (x :: acc) rest
+              in
+              let l1, l2 = split [] p in
+              (leg_latency t l1, leg_latency t l2)
+            | _ -> (infinity, infinity)
+          in
+          let b1 = bound fi.Lang.fi_src via and b2 = bound via fi.Lang.fi_dst in
+          (b1 < infinity && b1 <= leg1 +. eps) || (b2 < infinity && b2 <= leg2 +. eps)
+      in
+      if affected then Some name else None)
+    t.program.Lang.flows
+
+let link_restore_bound t u v =
+  let node_ok = node_ok t in
+  let edge_ok a b = edge_up t a b in
+  let du = G.distances_avoiding t.graph ~src:u ~node_ok ~edge_ok in
+  let dv = G.distances_avoiding t.graph ~src:v ~node_ok ~edge_ok in
+  let lat = G.latency t.graph u v in
+  fun s d -> Float.min (du.(s) +. lat +. dv.(d)) (dv.(s) +. lat +. du.(d))
+
+let node_restore_bound t x =
+  let node_ok = node_ok t in
+  let edge_ok a b = edge_up t a b in
+  let dx = G.distances_avoiding t.graph ~src:x ~node_ok ~edge_ok in
+  fun s d -> dx.(s) +. dx.(d)
+
+let check_edge t name u v =
+  if
+    u < 0 || v < 0
+    || u >= G.node_count t.graph
+    || v >= G.node_count t.graph
+    || not (G.has_edge t.graph u v)
+  then invalid_arg (Printf.sprintf "Intent.Compiler.%s: no edge %d-%d" name u v)
+
+let affected_for t event =
+  match event with
+  | Link_down (u, v) ->
+    check_edge t "apply" u v;
+    if Hashtbl.mem t.down_links (ekey u v) then []
+    else begin
+      Hashtbl.replace t.down_links (ekey u v) ();
+      union_names (users_of t (path_uses_edge (ekey u v))) (degraded_waypoints t)
+    end
+  | Drain (u, v) ->
+    check_edge t "apply" u v;
+    if Hashtbl.mem t.drained (ekey u v) then []
+    else begin
+      Hashtbl.replace t.drained (ekey u v) ();
+      union_names (users_of t (path_uses_edge (ekey u v))) (degraded_waypoints t)
+    end
+  | Node_down x ->
+    if x < 0 || x >= G.node_count t.graph then invalid_arg "Intent.Compiler.apply: bad node"
+    else if Hashtbl.mem t.down_nodes x then []
+    else begin
+      Hashtbl.replace t.down_nodes x ();
+      (* Endpoints count as users: a flow sourced at or sinking into a
+         down node becomes unroutable. *)
+      users_of t (path_uses_node x)
+      |> fun using ->
+      List.filter_map
+        (fun fi ->
+          let name = fi.Lang.fi_name in
+          if
+            List.mem name using
+            || fi.Lang.fi_src = x || fi.Lang.fi_dst = x
+            || (match fi.Lang.fi_policy with Lang.Waypoint via -> via = x | _ -> false)
+          then Some name
+          else None)
+        t.program.Lang.flows
+      |> fun direct -> union_names direct (degraded_waypoints t)
+    end
+  | Link_up (u, v) ->
+    check_edge t "apply" u v;
+    if not (Hashtbl.mem t.down_links (ekey u v)) then []
+    else begin
+      Hashtbl.remove t.down_links (ekey u v);
+      if edge_up t u v then restore_affected t ~bound:(link_restore_bound t u v)
+      else [] (* still drained: nothing became usable *)
+    end
+  | Undrain (u, v) ->
+    check_edge t "apply" u v;
+    if not (Hashtbl.mem t.drained (ekey u v)) then []
+    else begin
+      Hashtbl.remove t.drained (ekey u v);
+      if edge_up t u v then restore_affected t ~bound:(link_restore_bound t u v)
+      else []
+    end
+  | Node_up x ->
+    if x < 0 || x >= G.node_count t.graph then invalid_arg "Intent.Compiler.apply: bad node"
+    else if not (Hashtbl.mem t.down_nodes x) then []
+    else begin
+      Hashtbl.remove t.down_nodes x;
+      restore_affected t ~bound:(node_restore_bound t x)
+    end
+  | Capacity_set (u, v, c) ->
+    check_edge t "apply" u v;
+    if c <= 0.0 then invalid_arg "Intent.Compiler.apply: non-positive capacity"
+    else begin
+      let old = G.capacity t.graph u v in
+      G.set_capacity t.graph u v c;
+      if c < old then
+        (* Shrink: only flows routed over the edge with demand no longer
+           covered must move. *)
+        union_names
+          (users_of t (path_uses_edge (ekey u v))
+          |> List.filter (fun name ->
+                 match Lang.find t.program name with
+                 | Some fi -> float_of_int fi.Lang.fi_demand > c
+                 | None -> false))
+          (degraded_waypoints t
+             ~keep:(fun fi ->
+               (* only flows whose mask actually lost the edge *)
+               let d = float_of_int fi.Lang.fi_demand in
+               d > c && d <= old))
+      else if c > old && edge_up t u v then begin
+        (* Raise: the edge just became usable for flows with
+           old < demand <= new; among those, apply the restore bound. *)
+        let bound = link_restore_bound t u v in
+        restore_affected t ~bound
+        |> List.filter (fun name ->
+               match Lang.find t.program name with
+               | Some fi ->
+                 let d = float_of_int fi.Lang.fi_demand in
+                 d > old && d <= c
+               | None -> false)
+      end
+      else []
+    end
+  | Set_flow fi ->
+    (match Lang.validate { Lang.empty with Lang.flows = [ fi ] } t.graph with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Intent.Compiler.apply: " ^ e));
+    t.program <- Lang.set_flow t.program fi;
+    [ fi.Lang.fi_name ]
+  | Remove_flow name -> (
+      match Lang.find t.program name with
+      | None -> []
+      | Some fi ->
+        t.program <- Lang.remove_flow t.program name;
+        let old = Option.value (Hashtbl.find_opt t.assign name) ~default:[] in
+        Hashtbl.remove t.assign name;
+        ignore fi;
+        if old = [] then [] else [ name ])
+
+let sort_changes changes =
+  List.sort
+    (fun a b ->
+      match compare b.ch_priority a.ch_priority with
+      | 0 -> compare a.ch_name b.ch_name
+      | n -> n)
+    changes
+
+let apply t event =
+  t.events_applied <- t.events_applied + 1;
+  match event with
+  | Remove_flow name ->
+    let old = Option.value (Hashtbl.find_opt t.assign name) ~default:[] in
+    let prio =
+      match Lang.find t.program name with Some fi -> fi.Lang.fi_priority | None -> 0
+    in
+    let affected = affected_for t event in
+    let changes =
+      if affected = [] then []
+      else [ { ch_name = name; ch_priority = prio; ch_old = old; ch_new = [] } ]
+    in
+    { d_changes = changes; d_recomputed = 0; d_flow_count = flow_count t }
+  | _ ->
+    let affected = affected_for t event in
+    let changes = recompile_some t affected in
+    {
+      d_changes = sort_changes changes;
+      d_recomputed = List.length affected;
+      d_flow_count = flow_count t;
+    }
+
+(* Bootstrap diff: every flow presented as freshly assigned, so the
+   bridge's lowering path doubles as initial installation. *)
+let bootstrap_diff t =
+  let changes =
+    List.filter_map
+      (fun fi ->
+        match members t fi.Lang.fi_name with
+        | [] -> None
+        | ms ->
+          Some
+            {
+              ch_name = fi.Lang.fi_name;
+              ch_priority = fi.Lang.fi_priority;
+              ch_old = [];
+              ch_new = ms;
+            })
+      t.program.Lang.flows
+  in
+  {
+    d_changes = sort_changes changes;
+    d_recomputed = flow_count t;
+    d_flow_count = flow_count t;
+  }

@@ -175,6 +175,62 @@ let shortest_path g ~src ~dst =
     | None -> None
     | Some (path, _) -> Some path
 
+(* Full single-source Dijkstra over the masked subgraph: distance from
+   [src] to every node, [infinity] where unreachable (or masked out).
+   Same (latency, hops, node-id) tie-breaking as [dijkstra_masked]; the
+   intent layer uses the result as a lower bound on any masked path. *)
+let distances_avoiding g ~src ~node_ok ~edge_ok =
+  check_node g src "distances_avoiding";
+  let dist = Array.make g.n infinity in
+  if not (node_ok src) then dist
+  else begin
+    let hops = Array.make g.n max_int in
+    let visited = Array.make g.n false in
+    dist.(src) <- 0.0;
+    hops.(src) <- 0;
+    let rec pick_min best i =
+      if i >= g.n then best
+      else
+        let best =
+          if visited.(i) || dist.(i) = infinity then best
+          else
+            match best with
+            | None -> Some i
+            | Some b ->
+              if
+                dist.(i) < dist.(b)
+                || (dist.(i) = dist.(b)
+                    && (hops.(i) < hops.(b) || (hops.(i) = hops.(b) && i < b)))
+              then Some i
+              else best
+        in
+        pick_min best (i + 1)
+    in
+    let rec loop () =
+      match pick_min None 0 with
+      | None -> ()
+      | Some u ->
+        visited.(u) <- true;
+        List.iter
+          (fun (v, lat, _) ->
+            if (not visited.(v)) && node_ok v && edge_ok u v then begin
+              let alt = dist.(u) +. lat in
+              let alt_hops = hops.(u) + 1 in
+              if
+                alt < dist.(v)
+                || (alt = dist.(v) && alt_hops < hops.(v))
+              then begin
+                dist.(v) <- alt;
+                hops.(v) <- alt_hops
+              end
+            end)
+          g.adjacency.(u);
+        loop ()
+    in
+    loop ();
+    dist
+  end
+
 let shortest_path_avoiding g ~src ~dst ~node_ok ~edge_ok =
   check_node g src "shortest_path_avoiding";
   check_node g dst "shortest_path_avoiding";
@@ -213,13 +269,15 @@ let path_is_valid g path =
   in
   (match path with [] -> false | _ -> true) && simple && adjacent_ok path
 
-(* Yen's k-shortest loop-free paths. *)
-let k_shortest_paths g ~src ~dst ~k =
+(* Yen's k-shortest loop-free paths over the subgraph selected by
+   [node_ok]/[edge_ok]; the caller masks compose with Yen's own spur
+   masks.  The trivial-mask instance is [k_shortest_paths]. *)
+let k_shortest_paths_avoiding g ~src ~dst ~k ~node_ok ~edge_ok =
   check_node g src "k_shortest_paths";
   check_node g dst "k_shortest_paths";
   if k <= 0 then []
   else
-    match shortest_path g ~src ~dst with
+    match shortest_path_avoiding g ~src ~dst ~node_ok ~edge_ok with
     | None -> []
     | Some first ->
       let accepted = ref [ (first, path_latency g first) ] in
@@ -260,9 +318,10 @@ let k_shortest_paths g ~src ~dst ~k =
                 !accepted
             in
             let root_without_spur = take_prefix root i in
-            let blocked_node v = List.mem v root_without_spur in
+            let blocked_node v = List.mem v root_without_spur || not (node_ok v) in
             let blocked_edge a b =
               List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) removed_edges
+              || not (edge_ok a b)
             in
             match dijkstra_masked g ~src:spur ~dst ~blocked_node ~blocked_edge with
             | None -> ()
@@ -285,6 +344,11 @@ let k_shortest_paths g ~src ~dst ~k =
       in
       build 0;
       List.map fst !accepted
+
+let k_shortest_paths g ~src ~dst ~k =
+  k_shortest_paths_avoiding g ~src ~dst ~k
+    ~node_ok:(fun _ -> true)
+    ~edge_ok:(fun _ _ -> true)
 
 let centroid g =
   if g.n = 0 then invalid_arg "Graph.centroid: empty graph";

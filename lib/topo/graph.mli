@@ -68,6 +68,28 @@ val shortest_path_avoiding :
     non-decreasing latency order (Yen's algorithm). *)
 val k_shortest_paths : t -> src:int -> dst:int -> k:int -> int list list
 
+(** [k_shortest_paths_avoiding] is {!k_shortest_paths} restricted to the
+    subgraph of nodes with [node_ok n] and edges with [edge_ok u v]; the
+    caller masks compose with Yen's internal spur masks.  Used by the
+    intent compiler to spread ECMP members over the live, undrained
+    subgraph. *)
+val k_shortest_paths_avoiding :
+  t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  node_ok:(int -> bool) ->
+  edge_ok:(int -> int -> bool) ->
+  int list list
+
+(** [distances_avoiding g ~src ~node_ok ~edge_ok] is the full
+    single-source Dijkstra over the masked subgraph: latency from [src]
+    to every node, [infinity] where unreachable or masked out.  Same
+    (latency, hops, node-id) tie-breaking as {!shortest_path}; the
+    result lower-bounds the latency of any masked path from [src]. *)
+val distances_avoiding :
+  t -> src:int -> node_ok:(int -> bool) -> edge_ok:(int -> int -> bool) -> float array
+
 (** Total latency along a node path.  Raises [Not_found] if a hop is not an
     edge. *)
 val path_latency : t -> int list -> float

@@ -29,4 +29,5 @@ let () =
       ("scale", Test_scale.suite);
       ("traffic", Test_traffic.suite);
       ("soak", Test_soak.suite);
+      ("intent", Test_intent.suite);
     ]
