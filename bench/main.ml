@@ -9,6 +9,7 @@
              dune exec bench/main.exe -- soak    (soak monitor -> BENCH_soak.json)
              dune exec bench/main.exe -- obs     (observability overhead -> BENCH_obs.json)
              dune exec bench/main.exe -- intent  (intent compiler -> BENCH_intent.json)
+             dune exec bench/main.exe -- shard   (sharded control plane -> BENCH_shard.json)
              dune exec bench/main.exe -- check --baseline B.json --current C.json
 
    With [--json FILE] every headline number is additionally written to
@@ -30,6 +31,7 @@ let traffic_mode = Array.exists (fun a -> a = "traffic") Sys.argv
 let soak_mode = Array.exists (fun a -> a = "soak") Sys.argv
 let obs_mode = Array.exists (fun a -> a = "obs") Sys.argv
 let intent_mode = Array.exists (fun a -> a = "intent") Sys.argv
+let shard_mode = Array.exists (fun a -> a = "shard") Sys.argv
 let check_mode = Array.exists (fun a -> a = "check") Sys.argv
 
 let flag_value name =
@@ -46,6 +48,7 @@ let json_out =
   | None when soak_mode -> Some "BENCH_soak.json"
   | None when obs_mode -> Some "BENCH_obs.json"
   | None when intent_mode -> Some "BENCH_intent.json"
+  | None when shard_mode -> Some "BENCH_shard.json"
   | out -> out
 
 let check_against = flag_value "--check"
@@ -593,6 +596,162 @@ let run_intent () =
   row "prep_per_s" "updates/s" r.Harness.Scale.sr_prep_per_s;
   row "violations" "count" (float_of_int (List.length r.Harness.Scale.sr_violations))
 
+(* ------------------------------------------------------------------ *)
+(* Shard subsuite: multi-controller control-plane scaling               *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance surface for the sharded control plane: preparation
+   throughput over a 10k+ concurrent-flow population on the fat-tree
+   must scale near-linearly in shard count (>= 1.6x at 2 shards), with
+   zero Thm. 1-4 / per-packet audit violations at every shard count.
+
+   Throughput is aggregate per-replica capacity ([Scale.retime_prep]):
+   each shard's prep loop is timed in isolation against a clone holding
+   only the Flow-DB slice it owns, and the rates are summed — the
+   sustained capacity of k controllers each on its own machine (the
+   container is single-core, so wall-clock parallel timing would only
+   measure scheduler interleaving).
+
+   The correctness leg pushes a cross-domain-heavy burst through the
+   sharded coordinator on a smaller population, races the Traffic
+   auditor through it and probes the structural invariants; the
+   per-shard routed/prepared/cross counters from the Obs registry become
+   rows so the baseline pins the routing split too. *)
+let run_shard () =
+  Printf.printf "P4Update shard subsuite (%s mode)\n" (if quick then "quick" else "full");
+  let row name unit value = emit ~prefix:"shard" name unit value in
+  let shard_counts = [ 1; 2; 4 ] in
+  let topo = Topo.Topologies.fat_tree ~k:16 () in
+  let g = topo.Topo.Topologies.graph in
+  let n = Topo.Graph.node_count g in
+  (* Deterministic flow population: a primary shortest path plus one
+     alternative avoiding the primary's middle edge — one extra Dijkstra
+     per pair (Yen's k-shortest is too slow at this pair count). *)
+  let draw_specs count =
+    let rng = Random.State.make [| 0x5eed |] in
+    let seen = Hashtbl.create (4 * count) in
+    let specs = ref [] and made = ref 0 in
+    while !made < count do
+      let src = Random.State.int rng n and dst = Random.State.int rng n in
+      if src <> dst && not (Hashtbl.mem seen (src, dst)) then begin
+        Hashtbl.replace seen (src, dst) ();
+        match Topo.Graph.shortest_path g ~src ~dst with
+        | None -> ()
+        | Some primary when List.length primary < 3 -> ()
+        | Some primary ->
+          let mid = List.length primary / 2 in
+          let a = List.nth primary (mid - 1) and b = List.nth primary mid in
+          let edge_ok u v = not ((u = a && v = b) || (u = b && v = a)) in
+          (match
+             Topo.Graph.shortest_path_avoiding g ~src ~dst
+               ~node_ok:(fun _ -> true) ~edge_ok
+           with
+          | None -> ()
+          | Some alt ->
+            if alt <> primary then begin
+              specs := (src, dst, primary, alt) :: !specs;
+              incr made
+            end)
+      end
+    done;
+    List.rev !specs
+  in
+  let populate shards specs =
+    let w = Harness.World.make ~seed:42 ~shards topo in
+    List.iteri
+      (fun i (src, dst, primary, _) ->
+        ignore (Harness.World.install_flow ~flow_id:i w ~src ~dst ~size:1 ~path:primary))
+      specs;
+    (w, List.mapi (fun i (_, _, _, alt) -> (i, alt)) specs)
+  in
+  section "Prep throughput vs shard count (fat-tree K=16, per-replica capacity)";
+  (* The wire header caps live flow ids at [Wire.flow_space] (1024), so
+     the population saturates the flow space and the 10k-update request
+     stream rotates it: each round flips every flow between its primary
+     and alternative path. *)
+  let n_flows = if quick then 500 else 1_000 in
+  let n_updates = if quick then 2_000 else 10_000 in
+  let specs = draw_specs n_flows in
+  let rounds = (n_updates + n_flows - 1) / n_flows in
+  Printf.printf "  %d concurrent flows, %d-update stream on %s (%d nodes)\n"
+    (List.length specs) (rounds * n_flows) topo.Topo.Topologies.name n;
+  let prep_rates =
+    List.map
+      (fun shards ->
+        let w, requests = populate shards specs in
+        let stream =
+          List.concat
+            (List.init rounds (fun r ->
+                 if r mod 2 = 0 then requests
+                 else List.mapi (fun i (_, _, primary, _) -> (i, primary)) specs))
+        in
+        let rate = Harness.Scale.retime_prep w stream in
+        row (Printf.sprintf "fat-tree/shards%d/prep_per_s" shards) "updates/s" rate;
+        (shards, rate))
+      shard_counts
+  in
+  let rate_at k = List.assoc k prep_rates in
+  let speedup_2 = rate_at 2 /. rate_at 1 and speedup_4 = rate_at 4 /. rate_at 1 in
+  row "fat-tree/speedup_2x" "x" speedup_2;
+  row "fat-tree/speedup_4x" "x" speedup_4;
+  Printf.printf "  speedup %0.2fx at 2 shards, %0.2fx at 4 (target >= 1.6x at 2)\n"
+    speedup_2 speedup_4;
+  if (not quick) && speedup_2 < 1.6 then begin
+    Printf.printf "  SHARD GATE FAILED: %.2fx < 1.6x at 2 shards\n" speedup_2;
+    soak_failed := true
+  end;
+  section "Cross-shard updates under the Traffic auditor (Thm. 1-4 + per-packet)";
+  let audit_specs = draw_specs (if quick then 150 else 300) in
+  List.iter
+    (fun shards ->
+      let w, requests = populate shards audit_specs in
+      let monitor = Harness.Invariants.create w in
+      let tr = Harness.Traffic.attach w in
+      Harness.Traffic.start tr;
+      Harness.Traffic.inject_until tr ~stop_ms:400.0;
+      ignore (Harness.World.run ~until:50.0 w);
+      let prepared = Control.Plane.prepare_batch w.Harness.World.plane requests in
+      List.iter
+        (fun p ->
+          Harness.Traffic.note_pushed tr ~flow_id:p.P4update.Controller.p_flow
+            ~version:p.P4update.Controller.p_version;
+          Control.Plane.push w.Harness.World.plane p)
+        prepared;
+      ignore (Harness.World.run w);
+      Harness.Traffic.drain tr;
+      let ts = Harness.Traffic.finalize tr in
+      Harness.Invariants.check_structural monitor (Harness.World.flows w);
+      let structural = List.length (Harness.Invariants.violations monitor) in
+      let audit = Harness.Traffic.violations ts in
+      let srow metric unit value =
+        row (Printf.sprintf "audit/shards%d/%s" shards metric) unit value
+      in
+      srow "updates" "updates" (float_of_int (List.length prepared));
+      srow "audited_pkts" "pkts" (float_of_int ts.Harness.Traffic.ts_injected);
+      srow "violations" "count" (float_of_int (structural + audit));
+      let reg = Netsim.metrics w.Harness.World.net in
+      let shard_total metric =
+        List.fold_left
+          (fun acc i -> acc + Obs.Metrics.get_count reg (Printf.sprintf "shard.%d.%s" i metric))
+          0
+          (List.init shards (fun i -> i))
+      in
+      if shards > 1 then begin
+        srow "routed" "msgs" (float_of_int (shard_total "routed"));
+        srow "cross_domain" "updates" (float_of_int (shard_total "cross"))
+      end;
+      Printf.printf
+        "  shards=%d: %d updates, %d probes audited, %d cross-domain, %d violations\n"
+        shards (List.length prepared) ts.Harness.Traffic.ts_injected
+        (if shards > 1 then shard_total "cross" else 0)
+        (structural + audit);
+      if structural + audit > 0 then begin
+        Printf.printf "  SHARD GATE FAILED: %d violations at shards=%d\n"
+          (structural + audit) shards;
+        soak_failed := true
+      end)
+    shard_counts
+
 let () =
   if check_mode then begin
     (* Standalone gate: compare two already-written row files. *)
@@ -609,6 +768,7 @@ let () =
     else if soak_mode then run_soak ()
     else if obs_mode then run_obs ()
     else if intent_mode then run_intent ()
+    else if shard_mode then run_shard ()
     else run_figures ();
     (match json_out with Some path -> write_json_rows path | None -> ());
     (match baseline_out with

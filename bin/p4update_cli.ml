@@ -4,126 +4,20 @@
 
    Every subcommand builds exactly one [Harness.Run_config.t] from its
    flags and hands it to the library — the CLI owns flag parsing, the
-   config record owns the knobs.
+   config record owns the knobs.  Flag specs shared across subcommands
+   (--seed/--topo/--runs, the observability four, --shards) and the
+   uniform exit-code table live in {!Cli_common}.
 
    Examples:
      p4update topo --name b4
      p4update single --topo internet2 --system all --runs 10
      p4update multi --topo fat-tree --system p4update
      p4update fig --id 7c
-     p4update scale --topo chinanet --updates 2000
+     p4update scale --topo chinanet --updates 2000 --shards 4
 *)
 
 open Cmdliner
-
-let topologies =
-  [
-    ("fig1", Topo.Topologies.fig1);
-    ("fig2", Topo.Topologies.fig2);
-    ("six-node", Topo.Topologies.six_node);
-    ("b4", Topo.Topologies.b4);
-    ("internet2", Topo.Topologies.internet2);
-    ("attmpls", Topo.Topologies.attmpls);
-    ("chinanet", Topo.Topologies.chinanet);
-    ("fat-tree", fun () -> Topo.Topologies.fat_tree ());
-  ]
-
-let topo_conv =
-  let parse s =
-    match List.assoc_opt s topologies with
-    | Some f -> Ok (s, f)
-    | None ->
-      Error (`Msg (Printf.sprintf "unknown topology %S (try: %s)" s
-                     (String.concat ", " (List.map fst topologies))))
-  in
-  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
-
-let topo_arg ?(default = ("b4", Topo.Topologies.b4)) () =
-  Arg.(value & opt topo_conv default
-       & info [ "topo"; "t" ] ~docv:"NAME" ~doc:"Topology to use.")
-
-let runs_arg =
-  Arg.(value & opt int 10 & info [ "runs"; "r" ] ~docv:"N" ~doc:"Number of seeded runs.")
-
-let seed_arg ~default =
-  Arg.(value & opt int default & info [ "seed" ] ~docv:"N" ~doc:"Base simulation seed.")
-
-(* The scenario runners historically number their runs 1000, 1001, ... *)
-let scenario_seed_base = 1000
-
-(* Shared observability flags: the long-horizon harnesses (scale,
-   traffic, soak, chaos, top) all take the same four. *)
-type obs_flags = {
-  ob_no_recorder : bool;
-  ob_incident_dir : string option;
-  ob_tick_ms : float option;
-  ob_series_out : string option;
-}
-
-let obs_term =
-  let no_recorder_arg =
-    Arg.(value & flag
-         & info [ "no-recorder" ]
-             ~doc:"Disable the always-on flight recorder for this run.")
-  in
-  let incident_dir_arg =
-    Arg.(value & opt (some string) None
-         & info [ "incident-dir" ] ~docv:"DIR"
-             ~doc:"Dump the flight recorder's retained window here as a \
-                   Perfetto-loadable incident snapshot whenever a trigger fires \
-                   (invariant violation, abort, give-up, stuck update, leak, \
-                   SLO breach).")
-  in
-  let tick_ms_arg =
-    Arg.(value & opt (some float) None
-         & info [ "tick-ms" ] ~docv:"MS"
-             ~doc:"Rolling SLO time-series window length in simulated ms \
-                   (default: the harness's own).")
-  in
-  let series_out_arg =
-    Arg.(value & opt (some string) None
-         & info [ "series-out" ] ~docv:"FILE"
-             ~doc:"Export the rolling SLO time-series as JSONL (one object per \
-                   window).")
-  in
-  Term.(const (fun ob_no_recorder ob_incident_dir ob_tick_ms ob_series_out ->
-            { ob_no_recorder; ob_incident_dir; ob_tick_ms; ob_series_out })
-        $ no_recorder_arg $ incident_dir_arg $ tick_ms_arg $ series_out_arg)
-
-(* One Run_config per invocation: flags override [Run_config.default]. *)
-let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
-    ?reorder_window_ms ?obs ?live_top ?intent_churn () =
-  let recorder, incident_dir, tick_ms, series_out =
-    match obs with
-    | None -> (None, None, None, None)
-    | Some o ->
-      (Some (not o.ob_no_recorder), o.ob_incident_dir, o.ob_tick_ms, o.ob_series_out)
-  in
-  Harness.Run_config.make ~seed ?runs ?iterations ?congestion ?trace_sink
-    ?fault_plan ?reorder_window_ms ?recorder ?incident_dir ?tick_ms ?series_out
-    ?live_top ?intent_churn ()
-
-let system_conv =
-  let parse = function
-    | "p4update" -> Ok (Some Harness.Scenarios.P4u)
-    | "ez-segway" | "ez" -> Ok (Some Harness.Scenarios.Ez)
-    | "central" -> Ok (Some Harness.Scenarios.Central)
-    | "all" -> Ok None
-    | s -> Error (`Msg (Printf.sprintf "unknown system %S (p4update | ez | central | all)" s))
-  in
-  let print fmt = function
-    | Some s -> Format.pp_print_string fmt (Harness.Scenarios.system_name s)
-    | None -> Format.pp_print_string fmt "all"
-  in
-  Arg.conv (parse, print)
-
-let system_arg =
-  Arg.(value & opt system_conv None
-       & info [ "system"; "s" ] ~docv:"SYS" ~doc:"System to run (default: all three).")
-
-let systems_of = function
-  | Some s -> [ s ]
-  | None -> Harness.Scenarios.all_systems
+open Cli_common
 
 (* --- topo --- *)
 
@@ -143,7 +37,7 @@ let topo_cmd =
           e.Topo.Graph.latency_ms e.Topo.Graph.capacity)
       (Topo.Graph.edges g)
   in
-  Cmd.v (Cmd.info "topo" ~doc:"Print a topology.") Term.(const run $ topo_arg ())
+  Cmd.v (cmd_info "topo" ~doc:"Print a topology.") Term.(const run $ topo_arg ())
 
 (* --- single / multi --- *)
 
@@ -180,7 +74,7 @@ let single_cmd =
     summarize_runs cfg setup (systems_of system) ~time_of:(fun setup sys ~seed ->
         Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed)
   in
-  Cmd.v (Cmd.info "single" ~doc:"Run the single-flow (straggler) scenario.")
+  Cmd.v (cmd_info "single" ~doc:"Run the single-flow (straggler) scenario.")
     Term.(const run $ topo_arg () $ system_arg $ seed_arg ~default:scenario_seed_base
           $ runs_arg)
 
@@ -199,7 +93,7 @@ let multi_cmd =
     summarize_runs cfg setup (systems_of system)
       ~time_of:(fun setup sys ~seed -> Harness.Scenarios.multi_flow_time setup sys ~seed)
   in
-  Cmd.v (Cmd.info "multi" ~doc:"Run the multi-flow (congestion) scenario.")
+  Cmd.v (cmd_info "multi" ~doc:"Run the multi-flow (congestion) scenario.")
     Term.(const run $ topo_arg () $ system_arg $ seed_arg ~default:scenario_seed_base
           $ runs_arg)
 
@@ -266,16 +160,11 @@ let fig_cmd =
         exit 1
     else run_figure cfg id
   in
-  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one evaluation figure.")
+  Cmd.v (cmd_info "fig" ~doc:"Regenerate one evaluation figure.")
     Term.(const run $ id_arg $ seed_arg ~default:Harness.Run_config.default.seed
           $ runs_opt_arg $ phases_arg)
 
 (* --- trace --- *)
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
 
 let trace_cmd =
   let out_arg =
@@ -346,7 +235,7 @@ let trace_cmd =
       print_string (Harness.Traced.render_phases rows)
   in
   Cmd.v
-    (Cmd.info "trace"
+    (cmd_info "trace"
        ~doc:
          "Run one scenario with the tracing sink installed; export a Chrome \
           trace (Perfetto) plus a per-update phase breakdown.")
@@ -389,7 +278,7 @@ let chaos_cmd =
                    Chrome trace JSON; with several runs, FILE gets the scenario and seed \
                    appended.")
   in
-  let run scenario seed runs no_recovery trace_out obs =
+  let run scenario seed runs no_recovery trace_out shards obs =
     let fault_plan =
       { Harness.Run_config.default_faults with fp_recovery = not no_recovery }
     in
@@ -408,7 +297,7 @@ let chaos_cmd =
               | None -> None
               | Some _ -> Some (Obs.Trace.create ~exclude:[ "sim"; "net"; "p4rt" ] ())
             in
-            let cfg = cfg_of ~seed ~fault_plan ?trace_sink ~obs () in
+            let cfg = cfg_of ~seed ~fault_plan ?trace_sink ~obs ~shards () in
             let r = Harness.Chaos.run_cfg cfg ~scenario:sc in
             (match (trace_out, trace_sink) with
             | Some path, Some sink ->
@@ -437,12 +326,12 @@ let chaos_cmd =
     if !failed > 0 then exit 1
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (cmd_info "chaos"
        ~doc:
          "Run seeded chaos schedules (both-plane faults plus link/node failures) and check \
           the Thm. 1-4 invariants and convergence.")
     Term.(const run $ scenario_arg $ seed_arg $ runs_arg $ no_recovery_arg $ trace_out_arg
-          $ obs_term)
+          $ shards_arg $ obs_term)
 
 (* --- mc --- *)
 
@@ -542,7 +431,7 @@ let mc_cmd =
     if (not unsafe) && !found then exit 1
   in
   Cmd.v
-    (Cmd.info "mc"
+    (cmd_info "mc"
        ~doc:
          "Systematically model-check delivery interleavings of a scenario against the \
           Thm. 1-4 invariants (sleep-set POR, fingerprint pruning, counterexample \
@@ -586,15 +475,15 @@ let scale_cmd =
                    instead of Poisson path flips.")
   in
   let run (name, build) seed updates flows arrival_mean burst churn probe_every
-      intent_churn obs =
-    let cfg = cfg_of ~seed ~obs ~intent_churn () in
+      intent_churn shards obs =
+    let cfg = cfg_of ~seed ~obs ~intent_churn ~shards () in
     let workload =
       { Harness.Scale.default_workload with
         wl_updates = updates; wl_flows = flows; wl_arrival_mean_ms = arrival_mean;
         wl_burst = burst; wl_churn = churn; wl_probe_every = probe_every }
     in
-    Printf.printf "scale run on %s: %d updates over %d flows (seed %d)\n" name
-      updates flows seed;
+    Printf.printf "scale run on %s: %d updates over %d flows (seed %d, shards %d)\n"
+      name updates flows seed shards;
     let r = Harness.Scale.run ~workload cfg (build ()) in
     Format.printf "%a@." Harness.Scale.pp r;
     if r.Harness.Scale.sr_violations <> [] then begin
@@ -607,7 +496,7 @@ let scale_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "scale"
+    (cmd_info "scale"
        ~doc:
          "Drive a many-concurrent-update workload (Poisson arrival bursts, flow churn, \
           sampled Thm. 1-4 invariant probes) over a WAN and report completion-time \
@@ -616,7 +505,7 @@ let scale_cmd =
           $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ updates_arg $ flows_arg $ arrival_arg $ burst_arg $ churn_arg $ probe_arg
-          $ intent_churn_arg $ obs_term)
+          $ intent_churn_arg $ shards_arg $ obs_term)
 
 (* --- traffic --- *)
 
@@ -642,8 +531,8 @@ let traffic_cmd =
     Arg.(value & opt float Harness.Traffic.default_workload.Harness.Traffic.tw_stop_ms
          & info [ "stop" ] ~docv:"MS" ~doc:"Stop injecting at this simulated time.")
   in
-  let run (name, build) seed updates flows gap_mean constant stop obs =
-    let cfg = cfg_of ~seed ~obs () in
+  let run (name, build) seed updates flows gap_mean constant stop shards obs =
+    let cfg = cfg_of ~seed ~obs ~shards () in
     let scale_workload =
       { Harness.Scale.default_workload with wl_updates = updates; wl_flows = flows }
     in
@@ -662,7 +551,7 @@ let traffic_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "traffic"
+    (cmd_info "traffic"
        ~doc:
          "Race sustained per-flow probe traffic against the scale engine's update \
           bursts and audit every packet's trajectory for per-packet consistency \
@@ -671,7 +560,8 @@ let traffic_cmd =
     Term.(const run
           $ topo_arg ~default:("attmpls", Topo.Topologies.attmpls) ()
           $ seed_arg ~default:Harness.Run_config.default.seed
-          $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg $ obs_term)
+          $ updates_arg $ flows_arg $ gap_arg $ constant_arg $ stop_arg $ shards_arg
+          $ obs_term)
 
 (* --- soak --- *)
 
@@ -718,7 +608,7 @@ let soak_cmd =
                    compiler, one correlated burst per event.")
   in
   let run (name, build) seed cycles cycle_ms population updates gap fault quick verbose
-      intent_churn obs =
+      intent_churn shards obs =
     let base =
       if quick then Harness.Soak.quick_config else Harness.Soak.default_config
     in
@@ -730,7 +620,7 @@ let soak_cmd =
           sk_population = population; sk_updates_per_cycle = updates;
           sk_probe_gap_ms = gap; sk_control_fault_prob = fault }
     in
-    let cfg = cfg_of ~seed ~obs ~intent_churn () in
+    let cfg = cfg_of ~seed ~obs ~intent_churn ~shards () in
     Printf.printf
       "soak run on %s: %d cycles x %.0f ms, %d flows, faults + %s churn + probes (seed %d)\n"
       name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
@@ -747,7 +637,7 @@ let soak_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "soak"
+    (cmd_info "soak"
        ~doc:
          "Long-horizon soak: churn + rolling faults + sustained probe audits, cycle \
           after cycle, with leak and stuck-update readings at every cycle boundary. \
@@ -756,7 +646,7 @@ let soak_cmd =
           $ topo_arg ()
           $ seed_arg ~default:Harness.Run_config.default.seed
           $ cycles_arg $ cycle_ms_arg $ population_arg $ updates_arg $ gap_arg
-          $ fault_arg $ quick_arg $ verbose_arg $ churn_arg $ obs_term)
+          $ fault_arg $ quick_arg $ verbose_arg $ churn_arg $ shards_arg $ obs_term)
 
 (* --- intent --- *)
 
@@ -835,7 +725,7 @@ let intent_cmd =
           (members_str ch.Intent.Compiler.ch_new))
       d.Intent.Compiler.d_changes
   in
-  let run mode (name, build) seed file events =
+  let run mode (name, build) seed shards file events =
     try
       let topo = build () in
       let program =
@@ -857,15 +747,15 @@ let intent_cmd =
         Printf.printf "final assignment:\n";
         print_assignment comp
       | `Run ->
-        let w = Harness.World.make ~seed topo in
+        let w = Harness.World.make ~seed ~shards topo in
         let g = Netsim.graph w.Harness.World.net in
-        let ctrl = w.Harness.World.controller in
+        let plane = w.Harness.World.plane in
         let comp = Intent.Compiler.create g program in
         let bridge = Intent.Bridge.create () in
         let install ~flow_id ~src ~dst ~size ~path =
           ignore (Harness.World.install_flow ~flow_id w ~src ~dst ~size ~path)
         in
-        let retire ~flow_id = P4update.Controller.retire_flow ctrl ~flow_id in
+        let retire ~flow_id = Control.Plane.retire_flow plane ~flow_id in
         ignore
           (Intent.Bridge.lower bridge ~program
              ~diff:(Intent.Compiler.bootstrap_diff comp) ~install ~retire);
@@ -884,10 +774,10 @@ let intent_cmd =
               Intent.Bridge.lower bridge
                 ~program:(Intent.Compiler.program comp) ~diff:d ~install ~retire
             in
-            let prepared = P4update.Controller.prepare_batch ctrl reqs in
+            let prepared = Control.Plane.prepare_batch plane reqs in
             print_diff ev d;
             Printf.printf "  -> burst of %d updates\n" (List.length prepared);
-            List.iter (fun p -> P4update.Controller.push ctrl p) prepared;
+            List.iter (fun p -> Control.Plane.push plane p) prepared;
             pushed := !pushed + List.length prepared;
             stop := !stop +. 250.0;
             Harness.Traffic.inject_until tr ~stop_ms:!stop;
@@ -905,14 +795,14 @@ let intent_cmd =
       exit 2
   in
   Cmd.v
-    (Cmd.info "intent"
+    (cmd_info "intent"
        ~doc:
          "Compile a declarative intent program (shortest-path, waypoint, ECMP \
           spread, drains) to concrete member paths, replay topology/intent \
           events through the incremental recompiler, and optionally lower the \
           diffs into audited consistent-update bursts.")
-    Term.(const run $ mode_arg $ topo_arg () $ seed_arg ~default:7 $ file_arg
-          $ event_arg)
+    Term.(const run $ mode_arg $ topo_arg () $ seed_arg ~default:7 $ shards_arg
+          $ file_arg $ event_arg)
 
 (* --- top --- *)
 
@@ -925,7 +815,7 @@ let top_cmd =
     Arg.(value & opt (some int) None
          & info [ "cycles" ] ~docv:"N" ~doc:"Override the number of soak cycles.")
   in
-  let run (name, build) seed quick cycles obs =
+  let run (name, build) seed quick cycles shards obs =
     let base =
       if quick then Harness.Soak.quick_config else Harness.Soak.default_config
     in
@@ -934,7 +824,7 @@ let top_cmd =
       | None -> base
       | Some n -> { base with Harness.Soak.sk_cycles = n }
     in
-    let cfg = cfg_of ~seed ~obs ~live_top:true () in
+    let cfg = cfg_of ~seed ~obs ~live_top:true ~shards () in
     Printf.printf "top: soak on %s, %d cycles x %.0f ms, tick %.0f ms (seed %d)\n%!"
       name config.Harness.Soak.sk_cycles config.Harness.Soak.sk_cycle_ms
       (Option.value obs.ob_tick_ms ~default:Harness.Soak.default_tick_ms) seed;
@@ -947,7 +837,7 @@ let top_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "top"
+    (cmd_info "top"
        ~doc:
          "Run a soak with the live text dashboard: the rolling SLO time-series \
           (probe and completion rates, update-latency p50/p99, in-flight updates, \
@@ -955,7 +845,7 @@ let top_cmd =
     Term.(const run
           $ topo_arg ()
           $ seed_arg ~default:Harness.Run_config.default.seed
-          $ quick_arg $ cycles_arg $ obs_term)
+          $ quick_arg $ cycles_arg $ shards_arg $ obs_term)
 
 (* --- import --- *)
 
@@ -984,7 +874,7 @@ let import_cmd =
         Harness.Scenarios.single_flow_time setup sys ~old_path ~new_path ~seed)
   in
   Cmd.v
-    (Cmd.info "import"
+    (cmd_info "import"
        ~doc:"Import a Topology Zoo GraphML file and run the single-flow scenario on it.")
     Term.(const run $ file_arg $ seed_arg ~default:scenario_seed_base $ runs_arg)
 
@@ -992,6 +882,6 @@ let () =
   let doc = "P4Update (CoNEXT '21) reproduction toolkit" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "p4update" ~doc)
+       (Cmd.group (cmd_info "p4update" ~doc)
           [ topo_cmd; single_cmd; multi_cmd; fig_cmd; trace_cmd; chaos_cmd; mc_cmd;
             scale_cmd; traffic_cmd; soak_cmd; intent_cmd; top_cmd; import_cmd ]))

@@ -1,0 +1,128 @@
+(* Deterministic k-way topology partitioner.
+
+   Domains are hop-distance Voronoi cells around k seeded centers:
+   the first center is drawn from a small LCG of [seed], the rest by
+   farthest-point traversal (each new center maximizes its minimum hop
+   distance to the centers already chosen, ties to the lowest node id).
+   Every node is then assigned to the center with the smallest
+   (hop distance, center rank) pair — a total order, so the split is a
+   pure function of (graph, k, seed) and safe to pin in tests.
+
+   Gateways are the endpoints of cross-domain edges.  Because the graph
+   is undirected and every domain is a subset of the node set, any path
+   that visits two domains must traverse a cross-domain edge — i.e.
+   cross-domain paths provably pass through a gateway pair, which is
+   what lets the sharded control plane stitch updates there with DL
+   labels (DESIGN par. 13). *)
+
+module Graph = Topo.Graph
+
+type t = {
+  pt_k : int;                     (* number of domains (clamped to n) *)
+  pt_seed : int;
+  pt_centers : int array;         (* domain id -> center node *)
+  pt_domain : int array;          (* node -> domain id *)
+  pt_gateway : bool array;        (* node is an endpoint of a cross edge *)
+  pt_cross_edges : (int * int) list; (* u < v, domain u <> domain v *)
+}
+
+let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
+
+let make ?(seed = 0) g ~k =
+  let n = Graph.node_count g in
+  if n = 0 then invalid_arg "Partition.make: empty graph";
+  let k = max 1 (min k n) in
+  (* Farthest-point center selection. *)
+  let centers = Array.make k 0 in
+  centers.(0) <- lcg (seed + 1) mod n;
+  let dists = Array.make k [||] in
+  dists.(0) <- Graph.hop_distances g ~dst:centers.(0);
+  for i = 1 to k - 1 do
+    let best = ref (-1) and best_d = ref (-1) in
+    for node = 0 to n - 1 do
+      if not (Array.exists (fun c -> c = node) (Array.sub centers 0 i)) then begin
+        let d =
+          Array.fold_left
+            (fun acc dist ->
+              min acc (if dist.(node) = max_int then n + 1 else dist.(node)))
+            max_int (Array.sub dists 0 i)
+        in
+        if d > !best_d then begin
+          best_d := d;
+          best := node
+        end
+      end
+    done;
+    centers.(i) <- !best;
+    dists.(i) <- Graph.hop_distances g ~dst:!best
+  done;
+  (* Voronoi assignment with (distance, rank) tie-breaking. *)
+  let domain =
+    Array.init n (fun node ->
+        let best = ref 0 and best_d = ref dists.(0).(node) in
+        for i = 1 to k - 1 do
+          if dists.(i).(node) < !best_d then begin
+            best_d := dists.(i).(node);
+            best := i
+          end
+        done;
+        !best)
+  in
+  let gateway = Array.make n false in
+  let cross_edges =
+    List.filter_map
+      (fun (e : Graph.edge) ->
+        if domain.(e.Graph.u) <> domain.(e.Graph.v) then begin
+          gateway.(e.Graph.u) <- true;
+          gateway.(e.Graph.v) <- true;
+          Some (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v)
+        end
+        else None)
+      (Graph.edges g)
+    |> List.sort compare
+  in
+  { pt_k = k; pt_seed = seed; pt_centers = centers; pt_domain = domain;
+    pt_gateway = gateway; pt_cross_edges = cross_edges }
+
+let domains t = t.pt_k
+let seed t = t.pt_seed
+let center t i = t.pt_centers.(i)
+let domain_of t node = t.pt_domain.(node)
+let is_gateway t node = t.pt_gateway.(node)
+let cross_edges t = t.pt_cross_edges
+
+let nodes_of t d =
+  let out = ref [] in
+  for node = Array.length t.pt_domain - 1 downto 0 do
+    if t.pt_domain.(node) = d then out := node :: !out
+  done;
+  !out
+
+let size t d = List.length (nodes_of t d)
+
+let crosses t path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> t.pt_domain.(a) <> t.pt_domain.(b) || go rest
+    | _ -> false
+  in
+  go path
+
+let gateways_on t path = List.filter (fun n -> t.pt_gateway.(n)) path
+
+(* Stable digest of the whole assignment, for determinism pins. *)
+let fingerprint t =
+  let h = ref (Hashtbl.hash (t.pt_k, t.pt_seed)) in
+  Array.iter (fun d -> h := ((!h * 31) + d) land 0x3FFFFFFF) t.pt_domain;
+  List.iter (fun e -> h := (!h * 131) lxor Hashtbl.hash e) t.pt_cross_edges;
+  !h
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d domains over %d nodes (seed %d):@," t.pt_k
+    (Array.length t.pt_domain) t.pt_seed;
+  for d = 0 to t.pt_k - 1 do
+    Format.fprintf ppf "  domain %d (center %d): %d nodes@," d t.pt_centers.(d)
+      (size t d)
+  done;
+  Format.fprintf ppf "  %d cross-domain edges, %d gateway nodes@]"
+    (List.length t.pt_cross_edges)
+    (Array.fold_left (fun acc g -> if g then acc + 1 else acc) 0 t.pt_gateway)

@@ -1,0 +1,48 @@
+(** Deterministic k-way topology partitioner for the sharded control
+    plane (DESIGN §13).
+
+    Domains are hop-distance Voronoi cells around [k] seeded centers
+    (farthest-point selection, total-order tie-breaking), so the split
+    is a pure function of (graph, k, seed) and safe to pin in tests.
+    Gateways are the endpoints of cross-domain edges; any path that
+    visits two domains necessarily traverses one, which is where the
+    sharded coordinator stitches cross-domain updates with DL labels. *)
+
+type t
+
+val make : ?seed:int -> Topo.Graph.t -> k:int -> t
+(** [make ?seed g ~k] splits [g] into [min k (node_count g)] domains.
+    Raises [Invalid_argument] on an empty graph. *)
+
+val domains : t -> int
+(** Number of domains actually produced (k clamped to the node count). *)
+
+val seed : t -> int
+
+val center : t -> int -> int
+(** Center node of a domain. *)
+
+val domain_of : t -> int -> int
+(** Owning domain of a node. *)
+
+val nodes_of : t -> int -> int list
+(** Nodes of a domain, ascending. *)
+
+val size : t -> int -> int
+
+val is_gateway : t -> int -> bool
+(** True iff the node is an endpoint of a cross-domain edge. *)
+
+val cross_edges : t -> (int * int) list
+(** Cross-domain edges as sorted [(min u v, max u v)] pairs. *)
+
+val crosses : t -> int list -> bool
+(** Does the path visit more than one domain? *)
+
+val gateways_on : t -> int list -> int list
+(** Gateway nodes along a path, in path order. *)
+
+val fingerprint : t -> int
+(** Stable digest of the whole assignment, for determinism pins. *)
+
+val pp : Format.formatter -> t -> unit

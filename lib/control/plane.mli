@@ -1,0 +1,117 @@
+(** The first-class [Control_plane] interface (DESIGN §13).
+
+    A record of the operations every harness needs from a control plane
+    — flow DB access, prepare/push, abort/rollback, report and push
+    hooks, §11 recovery, fingerprinting — so Scale, Traffic, Soak,
+    Chaos, the Intent bridge and the model checker depend on this
+    interface rather than the concrete {!P4update.Controller} module.
+
+    Two constructors exist: {!single} wraps one controller with pure 1:1
+    delegation (shards=1 is byte-identical to calling the controller
+    directly), and {!Sharded.plane} fronts a k-shard coordinator. *)
+
+module C = P4update.Controller
+module Wire = P4update.Wire
+
+type t = {
+  shards : int;
+  controllers : C.t array;
+      (** shard id -> controller replica; a single entry at shards=1 *)
+  partition : Partition.t option;  (** [None] at shards=1 *)
+  shard_of_node : int -> int;
+  register_flow :
+    ?version:int ->
+    ?flow_id:int ->
+    src:int ->
+    dst:int ->
+    size:int ->
+    path:int list ->
+    unit ->
+    C.flow;
+  find_flow : flow_id:int -> C.flow option;
+  flows : unit -> C.flow list;
+  retire_flow : flow_id:int -> unit;
+  prepare :
+    flow_id:int ->
+    new_path:int list ->
+    ?update_type:Wire.update_type ->
+    unit ->
+    C.prepared;
+  prepare_batch : (int * int list) list -> C.prepared list;
+  push : C.prepared -> unit;
+  update_flow :
+    flow_id:int ->
+    new_path:int list ->
+    ?update_type:Wire.update_type ->
+    unit ->
+    int;
+  abort_update : ?reason:string -> flow_id:int -> unit -> bool;
+  aborted_version : flow_id:int -> int option;
+  on_push : (flow_id:int -> version:int -> unit) -> unit;
+  on_report : (C.report -> unit) -> unit;
+  completion_time : flow_id:int -> version:int -> float option;
+  enable_recovery :
+    ?timeout_ms:float -> ?max_retries:int -> ?deadline_ms:float -> unit -> unit;
+  recovery_stats : unit -> C.recovery_stats option;
+  alarm_count : unit -> int;
+  fingerprint : unit -> int;
+}
+
+val single : C.t -> t
+(** Wrap one controller; every field delegates 1:1. *)
+
+(** {2 Call-style wrappers}
+
+    So call sites read like the Controller calls they replaced:
+    [Plane.update_flow p ~flow_id ~new_path ()]. *)
+
+val shards : t -> int
+val controller : t -> int -> C.t
+val partition : t -> Partition.t option
+val shard_of_node : t -> int -> int
+
+val register_flow :
+  ?version:int ->
+  ?flow_id:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  path:int list ->
+  C.flow
+
+val find_flow : t -> flow_id:int -> C.flow option
+val flows : t -> C.flow list
+val retire_flow : t -> flow_id:int -> unit
+
+val prepare :
+  t ->
+  flow_id:int ->
+  new_path:int list ->
+  ?update_type:Wire.update_type ->
+  unit ->
+  C.prepared
+
+val prepare_batch : t -> (int * int list) list -> C.prepared list
+val push : t -> C.prepared -> unit
+
+val update_flow :
+  t ->
+  flow_id:int ->
+  new_path:int list ->
+  ?update_type:Wire.update_type ->
+  unit ->
+  int
+
+val abort_update : ?reason:string -> t -> flow_id:int -> bool
+val aborted_version : t -> flow_id:int -> int option
+val on_push : t -> (flow_id:int -> version:int -> unit) -> unit
+val on_report : t -> (C.report -> unit) -> unit
+val completion_time : t -> flow_id:int -> version:int -> float option
+
+val enable_recovery :
+  ?timeout_ms:float -> ?max_retries:int -> ?deadline_ms:float -> t -> unit
+
+val recovery_stats : t -> C.recovery_stats option
+val alarm_count : t -> int
+val fingerprint : t -> int

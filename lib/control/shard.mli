@@ -1,0 +1,28 @@
+(** One controller replica owning a topology domain (DESIGN §13).
+
+    A shard is a full {!P4update.Controller} — its Flow DB holds exactly
+    the flows sourced in its domain — plus per-shard counters in the
+    network's Obs registry under [shard.<i>.prepared|pushed|cross|routed]. *)
+
+type t
+
+val create : Netsim.t -> id:int -> nodes:int list -> t
+(** Creates the replica controller over the shared network.  Note
+    {!P4update.Controller.create} installs the single-controller network
+    handler; the {!Sharded} coordinator re-points it afterwards. *)
+
+val id : t -> int
+val controller : t -> P4update.Controller.t
+val nodes : t -> int list
+val flow_count : t -> int
+
+(** {2 Per-shard instruments} *)
+
+val note_prepared : t -> unit
+val note_pushed : t -> unit
+val note_cross : t -> unit
+val note_routed : t -> unit
+val prepared_count : t -> int
+val pushed_count : t -> int
+val cross_count : t -> int
+val routed_count : t -> int

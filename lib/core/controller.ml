@@ -687,9 +687,11 @@ let retrigger t (c : Wire.control) =
     end
   | Some _ | None -> ()
 
-let install_handler t =
-  Netsim.set_controller t.net (fun ~from bytes ->
-      match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+(* Process one control-channel frame addressed to this controller.  Kept
+   separate from [install_handler] so a sharded coordinator can parse the
+   frame once, pick the owning shard, and dispatch to it directly. *)
+let handle t ~from bytes =
+  match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
       | Some c when c.kind = Wire.Ufm ->
         let report =
           {
@@ -747,7 +749,10 @@ let install_handler t =
         end
       | Some c when c.kind = Wire.Frm ->
         if t.auto_route && find_flow t ~flow_id:c.flow_id = None then route_new_flow t c
-      | Some _ | None -> ())
+      | Some _ | None -> ()
+
+let install_handler t =
+  Netsim.set_controller t.net (fun ~from bytes -> handle t ~from bytes)
 
 let create network =
   let t =

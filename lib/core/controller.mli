@@ -236,6 +236,11 @@ val aborted_version : t -> flow_id:int -> int option
     a stale rule cannot violate the consistency invariants. *)
 val retire_flow : t -> flow_id:int -> unit
 
-(** [install_handler t] wires the controller into the network (listens
-    for FRM/UFM).  Called by {!create}; exposed for tests that re-attach. *)
-val install_handler : t -> unit
+(** [handle t ~from bytes] processes one control-channel frame (FRM/UFM)
+    as if it had been delivered to this controller.  {!create} wires this
+    into the network via {!Netsim.set_controller} (which holds a single
+    handler — creating several controllers over one network leaves only
+    the last one wired); the sharded control plane re-points the handler
+    at a router that parses the frame once, picks the owning shard, and
+    dispatches here. *)
+val handle : t -> from:int -> Bytes.t -> unit

@@ -236,9 +236,9 @@ let install_probes (w : World.t) cfg monitor (flows : P4update.Controller.flow l
 
 let hash_combine h x = ((h * 1000003) lxor x) land 0x3FFFFFFF
 
-let run_one ?traffic ~scenario ~seed ~cfg () =
+let run_one ?traffic ?(shards = 1) ~scenario ~seed ~cfg () =
   let topo = topo_of scenario in
-  let w = World.make ~seed topo in
+  let w = World.make ~seed ~shards topo in
   let trace_hash = ref 0x1505 in
   Netsim.on_delivery w.World.net (fun time node port bytes ->
       trace_hash :=
@@ -247,7 +247,7 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
   Array.iter
     (fun sw -> P4update.Switch.enable_watchdog sw ~timeout_ms:cfg.watchdog_ms)
     w.World.switches;
-  if cfg.recovery then P4update.Controller.enable_recovery w.World.controller;
+  if cfg.recovery then Control.Plane.enable_recovery w.World.plane;
   (* Workload first, fault schedule second: a fault-free baseline run of
      the same seed draws the identical workload. *)
   let planned = draw_flows w.World.sim topo cfg.flows in
@@ -267,7 +267,7 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
       let at = 100.0 +. Sim.uniform w.World.sim ~bound:(cfg.fault_window_ms /. 2.0) in
       Sim.schedule_at w.World.sim ~time:at (fun () ->
           ignore
-            (P4update.Controller.update_flow w.World.controller
+            (Control.Plane.update_flow w.World.plane
                ~flow_id:f.P4update.Controller.flow_id ~new_path:pl.pl_new ());
           Option.iter
             (fun t ->
@@ -292,7 +292,7 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
           | _ -> false
         in
         let t =
-          P4update.Controller.completion_time w.World.controller
+          Control.Plane.completion_time w.World.plane
             ~flow_id:f.P4update.Controller.flow_id ~version:f.P4update.Controller.version
         in
         if structurally_ok then
@@ -305,7 +305,7 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
       (0, None) flows
   in
   let stats = Netsim.counters w.World.net in
-  let rstats = P4update.Controller.recovery_stats w.World.controller in
+  let rstats = Control.Plane.recovery_stats w.World.plane in
   let get f = match rstats with Some s -> f s | None -> 0 in
   {
     r_scenario = scenario;
@@ -319,7 +319,7 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
     r_resyncs = get (fun s -> s.P4update.Controller.resyncs);
     r_aborts = get (fun s -> s.P4update.Controller.aborts);
     r_give_ups = get (fun s -> s.P4update.Controller.give_ups);
-    r_alarms = P4update.Controller.alarm_count w.World.controller;
+    r_alarms = Control.Plane.alarm_count w.World.plane;
     r_dropped_by_fault = stats.Netsim.dropped_by_fault;
     r_dropped_by_failure = stats.Netsim.dropped_by_failure;
     r_element_failures = element_failures;
@@ -329,21 +329,21 @@ let run_one ?traffic ~scenario ~seed ~cfg () =
     r_traffic = Option.map (fun t -> Traffic.finalize t) tr;
   }
 
-let run ?(config = default_config) ?trace_sink ?traffic ~scenario ~seed () =
+let run ?(config = default_config) ?trace_sink ?traffic ?(shards = 1) ~scenario ~seed () =
   (* Only the degraded run is traced: the fault-free baseline would overlay
      a second span tree at the same timestamps.  Probe traffic likewise
      rides the degraded run only — the baseline's job is the workload's
      fault-free convergence reference, not a second packet audit. *)
   let faulty =
     match trace_sink with
-    | None -> run_one ?traffic ~scenario ~seed ~cfg:config ()
+    | None -> run_one ?traffic ~shards ~scenario ~seed ~cfg:config ()
     | Some sink ->
       Obs.Trace.install sink;
       Fun.protect ~finally:Obs.Trace.uninstall (fun () ->
-          run_one ?traffic ~scenario ~seed ~cfg:config ())
+          run_one ?traffic ~shards ~scenario ~seed ~cfg:config ())
   in
   let baseline =
-    run_one ~scenario ~seed
+    run_one ~shards ~scenario ~seed
       ~cfg:{ config with data_fault_prob = 0.0; control_fault_prob = 0.0;
              max_element_failures = 0 }
       ()
@@ -377,8 +377,8 @@ let run_cfg ?traffic (cfg : Run_config.t) ~scenario =
   (* The flight recorder rides the whole pair of runs (degraded +
      baseline): a baseline-run violation is every bit as reportable. *)
   Observe.with_recorder cfg @@ fun _recorder ->
-  run ~config ?trace_sink:cfg.Run_config.trace_sink ?traffic ~scenario
-    ~seed:cfg.Run_config.seed ()
+  run ~config ?trace_sink:cfg.Run_config.trace_sink ?traffic
+    ~shards:cfg.Run_config.shards ~scenario ~seed:cfg.Run_config.seed ()
 
 let report_line r =
   let verdict = if ok r then "ok" else "FAIL" in

@@ -105,7 +105,7 @@ val config_of_plan : Run_config.fault_plan -> config
     building a {!Run_config.t}.  Kept for existing call sites. *)
 val run :
   ?config:config -> ?trace_sink:Obs.Trace.sink -> ?traffic:Traffic.workload ->
-  scenario:scenario -> seed:int -> unit -> report
+  ?shards:int -> scenario:scenario -> seed:int -> unit -> report
 
 (** One-line degradation summary. *)
 val report_line : report -> string

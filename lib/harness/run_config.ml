@@ -57,6 +57,7 @@ type t = {
   series_out : string option;
   live_top : bool;
   intent_churn : bool;
+  shards : int;
 }
 
 let default =
@@ -74,13 +75,14 @@ let default =
     series_out = None;
     live_top = false;
     intent_churn = false;
+    shards = 1;
   }
 
 let make ?(seed = default.seed) ?(runs = default.runs)
     ?(iterations = default.iterations) ?(congestion = default.congestion)
     ?trace_sink ?fault_plan ?reorder_window_ms ?(recorder = default.recorder)
     ?incident_dir ?tick_ms ?series_out ?(live_top = default.live_top)
-    ?(intent_churn = default.intent_churn) () =
+    ?(intent_churn = default.intent_churn) ?(shards = default.shards) () =
   {
     seed;
     runs;
@@ -95,6 +97,7 @@ let make ?(seed = default.seed) ?(runs = default.runs)
     series_out;
     live_top;
     intent_churn;
+    shards;
   }
 
 let with_seed seed cfg = { cfg with seed }

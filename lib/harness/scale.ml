@@ -116,13 +116,12 @@ let admit w g ~n ~size =
 
 (* ---- preparation re-timing ------------------------------------------- *)
 
-(* Time [Controller.prepare_batch] over [requests] without mutating the
-   world it measures: a throwaway [World] is built on the same topology,
-   the live flows are re-registered into it at their current paths, and
-   the timing loop hammers the clone's controller.  The caller's
-   controller state (fingerprint) is untouched. *)
-let retime_prep (w : World.t) requests =
-  let topo = Netsim.topology w.World.net in
+(* Time [prepare_batch] over a request slice without mutating the world
+   it measures: a throwaway single-controller [World] is built on the
+   same topology, the slice's flows are re-registered into it at their
+   current paths, and the timing loop hammers the clone's controller.
+   The caller's controller state (fingerprint) is untouched. *)
+let retime_slice (w : World.t) topo requests =
   let clone = World.make ~seed:0 topo in
   List.iter
     (fun (flow_id, _) ->
@@ -148,6 +147,33 @@ let retime_prep (w : World.t) requests =
     float_of_int (!reps * batch) /. elapsed ()
   end
 
+(* At shards=1 this is the old whole-world re-time.  At shards>1 it is
+   shard-aware: one throwaway clone per shard carrying only the Flow DB
+   slice that shard owns (cloning every slice into every replica copied
+   quadratically in shard count), each replica's prep loop timed in
+   isolation, and the aggregate is the sum of per-replica rates — the
+   sustained capacity of k controllers each running on its own machine.
+   Clones are built sequentially in the calling domain (World.make sets
+   the global trace clock). *)
+let retime_prep (w : World.t) requests =
+  let topo = Netsim.topology w.World.net in
+  match w.World.partition with
+  | None -> retime_slice w topo requests
+  | Some pt ->
+    let k = Control.Partition.domains pt in
+    let per_shard = Array.make k [] in
+    List.iter
+      (fun ((flow_id, _) as req) ->
+        match World.find_flow w ~flow_id with
+        | Some f ->
+          let d = Control.Partition.domain_of pt f.P4update.Controller.src in
+          per_shard.(d) <- req :: per_shard.(d)
+        | None -> ())
+      requests;
+    Array.fold_left
+      (fun acc reqs -> acc +. retime_slice w topo (List.rev reqs))
+      0.0 per_shard
+
 (* ---- the engine ------------------------------------------------------ *)
 
 (* Default SLO sampling window for the scale engine (simulated ms). *)
@@ -155,7 +181,7 @@ let default_tick_ms = 1000.0
 
 let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
   Observe.with_recorder cfg @@ fun _recorder ->
-  let w = World.make ~seed:cfg.Run_config.seed topo in
+  let w = World.make ~seed:cfg.Run_config.seed ~shards:cfg.Run_config.shards topo in
   let g = topo.Topo.Topologies.graph in
   let n = Graph.node_count g in
   let wl = workload in
@@ -205,7 +231,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
         Obs.Timeseries.gauge ts "heap" ~unit_:"events" (fun () ->
             float_of_int (Sim.pending w.World.sim)))
   in
-  P4update.Controller.on_report w.World.controller (fun r ->
+  Control.Plane.on_report w.World.plane (fun r ->
       if r.P4update.Controller.r_status = P4update.Wire.ufm_success then begin
         let key = (r.P4update.Controller.r_flow, r.P4update.Controller.r_version) in
         match Hashtbl.find_opt pending key with
@@ -228,7 +254,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
     List.iter
       (fun (p : P4update.Controller.prepared) ->
         Hashtbl.replace pending (p.P4update.Controller.p_flow, p.P4update.Controller.p_version) now;
-        P4update.Controller.push w.World.controller p;
+        Control.Plane.push w.World.plane p;
         incr pushed;
         hk.h_pushed ~flow_id:p.P4update.Controller.p_flow
           ~version:p.P4update.Controller.p_version)
@@ -280,7 +306,7 @@ let run ?(workload = default_workload) ?hooks (cfg : Run_config.t) topo =
         !picked
     in
     let started = Dessim.Wallclock.now_s () in
-    let prepared = P4update.Controller.prepare_batch w.World.controller requests in
+    let prepared = Control.Plane.prepare_batch w.World.plane requests in
     prep_s := !prep_s +. Dessim.Wallclock.elapsed_s ~since:started;
     prepared_n := !prepared_n + List.length prepared;
     push_prepared prepared;

@@ -75,10 +75,14 @@ val no_hooks : hooks
     updates). *)
 val alt_paths : Topo.Graph.t -> src:int -> dst:int -> int list array option
 
-(** [retime_prep w requests] measures [Controller.prepare_batch]
-    throughput (updates/s) for [requests] without touching [w]'s
-    controller: the timing loop runs against a throwaway clone world
-    carrying the same flows. *)
+(** [retime_prep w requests] measures [prepare_batch] throughput
+    (updates/s) for [requests] without touching [w]'s control plane: the
+    timing loops run against throwaway clone worlds.  At shards=1 one
+    clone carries all the flows; at shards>1 each shard gets its own
+    clone carrying {e only} the Flow DB slice it owns (never the other
+    replicas' slices), its prep loop is timed in isolation, and the
+    result is the sum of per-replica rates — the sustained capacity of k
+    controllers each running on its own machine. *)
 val retime_prep : World.t -> (int * int list) list -> float
 
 (** [run ?workload ?hooks cfg topo] executes the workload on [topo],

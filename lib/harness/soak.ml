@@ -175,7 +175,7 @@ let default_tick_ms = 500.0
 
 let run ?(config = default_config) (cfg : Run_config.t) topo =
   Observe.with_recorder cfg @@ fun _recorder ->
-  let w = World.make ~seed:cfg.Run_config.seed topo in
+  let w = World.make ~seed:cfg.Run_config.seed ~shards:cfg.Run_config.shards topo in
   let sim = w.World.sim in
   let net = w.World.net in
   let g = topo.Topologies.graph in
@@ -185,7 +185,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   Array.iter
     (fun sw -> P4update.Switch.enable_watchdog sw ~timeout_ms:sk.sk_watchdog_ms)
     w.World.switches;
-  P4update.Controller.enable_recovery ?deadline_ms:sk.sk_deadline_ms w.World.controller;
+  Control.Plane.enable_recovery ?deadline_ms:sk.sk_deadline_ms w.World.plane;
   let metrics = Netsim.metrics net in
   let g_heap = Obs.Metrics.gauge metrics "soak.heap_pending" in
   let g_flows = Obs.Metrics.gauge metrics "soak.flow_db" in
@@ -298,7 +298,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         Obs.Timeseries.gauge ts "heap" ~unit_:"events" (fun () ->
             float_of_int (Sim.pending sim)))
   in
-  P4update.Controller.on_report w.World.controller (fun r ->
+  Control.Plane.on_report w.World.plane (fun r ->
       if r.P4update.Controller.r_status = P4update.Wire.ufm_success then begin
         let key = (r.P4update.Controller.r_flow, r.P4update.Controller.r_version) in
         match Hashtbl.find_opt pending key with
@@ -340,7 +340,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         Hashtbl.replace pending
           (p.P4update.Controller.p_flow, p.P4update.Controller.p_version)
           now;
-        P4update.Controller.push w.World.controller p;
+        Control.Plane.push w.World.plane p;
         incr pushed;
         quota := !quota - 1;
         Traffic.note_pushed tr ~flow_id:p.P4update.Controller.p_flow
@@ -369,7 +369,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
           (s.flow_id, s.paths.(s.cur)))
         !picked
     in
-    let prepared = P4update.Controller.prepare_batch w.World.controller requests in
+    let prepared = Control.Plane.prepare_batch w.World.plane requests in
     push_prepared prepared
   in
   let burst () = match ic with Some ic -> intent_burst ic | None -> slot_burst () in
@@ -378,7 +378,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
      what the leak readings check — and admit a fresh pair. *)
   let churn () =
     let i = Sim.uniform_int sim ~bound:sk.sk_population in
-    P4update.Controller.retire_flow w.World.controller ~flow_id:slots.(i).flow_id;
+    Control.Plane.retire_flow w.World.plane ~flow_id:slots.(i).flow_id;
     slots.(i) <- admit w g ~n ~size:sk.sk_flow_size ~used;
     incr churned;
     Traffic.note_admitted tr ~flow_id:slots.(i).flow_id
@@ -441,14 +441,14 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
         Obs.Metrics.incr c_cycles;
         Obs.Metrics.set g_heap (float_of_int (Sim.pending sim));
         Obs.Metrics.set g_flows
-          (float_of_int (List.length (P4update.Controller.flows w.World.controller)));
+          (float_of_int (List.length (Control.Plane.flows w.World.plane)));
         Obs.Flight_recorder.note ~now:(Sim.now sim) ~kind:Obs.Flight_recorder.k_leak
           ~node:(-1) ~flow:(-1) ~a:(Sim.pending sim) ~b:(Traffic.in_flight tr);
         cycles :=
           { cy_index = k;
             cy_injected = Obs.Metrics.get_count metrics "traffic.injected";
             cy_pending_events = Sim.pending sim;
-            cy_flows = List.length (P4update.Controller.flows w.World.controller);
+            cy_flows = List.length (Control.Plane.flows w.World.plane);
             cy_in_flight = Traffic.in_flight tr;
             cy_violations = List.length (Invariants.violations monitor) }
           :: !cycles)
@@ -478,12 +478,12 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
   let stuck =
     Hashtbl.fold
       (fun (flow_id, version) _ acc ->
-        match P4update.Controller.find_flow w.World.controller ~flow_id with
+        match Control.Plane.find_flow w.World.plane ~flow_id with
         | None -> acc (* retired *)
         | Some f ->
           if f.P4update.Controller.version > version then acc (* superseded *)
           else if
-            (match P4update.Controller.aborted_version w.World.controller ~flow_id with
+            (match Control.Plane.aborted_version w.World.plane ~flow_id with
             | Some v -> v >= version
             | None -> false)
           then acc
@@ -525,7 +525,7 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
     leak "trace anchors outstanding on a settled plane: %d" anchors;
   let rstats =
     Option.value
-      (P4update.Controller.recovery_stats w.World.controller)
+      (Control.Plane.recovery_stats w.World.plane)
       ~default:
         { P4update.Controller.retransmissions = 0; reroutes = 0; resyncs = 0;
           aborts = 0; give_ups = 0 }

@@ -5,6 +5,8 @@ type t = {
   net : Netsim.t;
   switches : P4update.Switch.t array;
   controller : P4update.Controller.t;
+  plane : Control.Plane.t;
+  partition : Control.Partition.t option;
 }
 
 type flow_spec = { fs_src : int; fs_dst : int; fs_size : int; fs_path : int list }
@@ -13,7 +15,7 @@ let flow ?(size = 100) ~src ~dst ~path () =
   { fs_src = src; fs_dst = dst; fs_size = size; fs_path = path }
 
 let install_flow ?flow_id w ~src ~dst ~size ~path =
-  let flow = P4update.Controller.register_flow ?flow_id w.controller ~src ~dst ~size ~path in
+  let flow = Control.Plane.register_flow ?flow_id w.plane ~src ~dst ~size ~path in
   let labels = P4update.Label.of_path w.net path in
   List.iter
     (fun (l : P4update.Label.node_label) ->
@@ -22,7 +24,7 @@ let install_flow ?flow_id w ~src ~dst ~size ~path =
     labels;
   flow
 
-let make ?seed ?config ?(flows = []) topo =
+let make ?seed ?config ?(shards = 1) ?(flows = []) topo =
   let sim = Sim.create ?seed () in
   (* Trace timestamps follow this world's simulated clock (no-op when no
      sink is installed). *)
@@ -30,7 +32,21 @@ let make ?seed ?config ?(flows = []) topo =
   let net = Netsim.create ?config sim topo in
   let n = Topo.Graph.node_count topo.Topo.Topologies.graph in
   let switches = Array.init n (fun node -> P4update.Switch.create net ~node) in
-  let controller = P4update.Controller.create net in
+  let controller, plane, partition =
+    if shards <= 1 then begin
+      let c = P4update.Controller.create net in
+      (c, Control.Plane.single c, None)
+    end
+    else begin
+      let pt =
+        Control.Partition.make
+          ~seed:(Option.value seed ~default:0)
+          topo.Topo.Topologies.graph ~k:shards
+      in
+      let sd = Control.Sharded.create net pt in
+      (Control.Sharded.controller sd 0, Control.Sharded.plane sd, Some pt)
+    end
+  in
   (* Split the network's control-plane counters by wire kind (FRM/UIM/...). *)
   Netsim.set_control_classifier net (fun bytes ->
       match Option.bind (P4update.Wire.packet_of_bytes bytes) P4update.Wire.control_of_packet with
@@ -41,14 +57,14 @@ let make ?seed ?config ?(flows = []) topo =
     | Netsim.Node_up node when node >= 0 && node < n ->
       P4update.Switch.restart switches.(node)
     | _ -> ());
-  let w = { sim; net; switches; controller } in
+  let w = { sim; net; switches; controller; plane; partition } in
   List.iter
     (fun fs ->
       ignore (install_flow w ~src:fs.fs_src ~dst:fs.fs_dst ~size:fs.fs_size ~path:fs.fs_path))
     flows;
   w
 
-let find_flow w ~flow_id = P4update.Controller.find_flow w.controller ~flow_id
+let find_flow w ~flow_id = Control.Plane.find_flow w.plane ~flow_id
 
 let flow_of_pair w ~src ~dst =
   let flow_id =
@@ -59,6 +75,6 @@ let flow_of_pair w ~src ~dst =
 let flows w =
   List.sort
     (fun a b -> compare a.P4update.Controller.flow_id b.P4update.Controller.flow_id)
-    (P4update.Controller.flows w.controller)
+    (Control.Plane.flows w.plane)
 
 let run ?until w = Sim.run ?until w.sim
