@@ -62,6 +62,27 @@ let shards_arg =
                  owning the flow's source domain, and stitches cross-domain \
                  updates with DL labels at the gateway switches.")
 
+let kernel_conv =
+  let parse = function
+    | "heap" -> Ok Dessim.Sim.Heap
+    | "calendar" -> Ok Dessim.Sim.Calendar
+    | s -> Error (`Msg (Printf.sprintf "unknown kernel %S (heap | calendar)" s))
+  in
+  let print fmt = function
+    | Dessim.Sim.Heap -> Format.pp_print_string fmt "heap"
+    | Dessim.Sim.Calendar -> Format.pp_print_string fmt "calendar"
+  in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(value & opt kernel_conv Dessim.Sim.Heap
+       & info [ "kernel" ] ~docv:"KERNEL"
+           ~doc:"Event-queue kernel: $(b,heap) (the pinned reference path, \
+                 default) or $(b,calendar) (O(1)-amortized calendar queue \
+                 plus the zero-alloc wire path — pooled frames and \
+                 byte-aligned codecs).  Both deliver events in identical \
+                 (time, seq) order; only the cost changes.")
+
 (* Shared observability flags: the long-horizon harnesses (scale,
    traffic, soak, chaos, top) all take the same four. *)
 type obs_flags = {
@@ -103,7 +124,7 @@ let obs_term =
 
 (* One Run_config per invocation: flags override [Run_config.default]. *)
 let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
-    ?reorder_window_ms ?obs ?live_top ?intent_churn ?shards () =
+    ?reorder_window_ms ?obs ?live_top ?intent_churn ?shards ?kernel () =
   let recorder, incident_dir, tick_ms, series_out =
     match obs with
     | None -> (None, None, None, None)
@@ -112,7 +133,7 @@ let cfg_of ~seed ?runs ?iterations ?congestion ?trace_sink ?fault_plan
   in
   Harness.Run_config.make ~seed ?runs ?iterations ?congestion ?trace_sink
     ?fault_plan ?reorder_window_ms ?recorder ?incident_dir ?tick_ms ?series_out
-    ?live_top ?intent_churn ?shards ()
+    ?live_top ?intent_churn ?shards ?kernel ()
 
 let system_conv =
   let parse = function

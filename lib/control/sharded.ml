@@ -56,7 +56,7 @@ let owner_of_flow t ~flow_id =
   go 0
 
 let route t ~from bytes =
-  match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+  match Wire.control_of_bytes bytes with
   | Some c when c.Wire.kind = Wire.Ufm ->
     let owner =
       match owner_of_flow t ~flow_id:c.Wire.flow_id with

@@ -304,7 +304,8 @@ let send_uims t prepared =
                     Obs.Trace.int "to" node;
                   ])
        end);
-      Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
+      let bytes = Wire.control_to_bytes uim in
+      Netsim.controller_transmit ?recycle:(Wire.recycle_thunk bytes) t.net ~to_:node bytes)
     (List.rev prepared.p_uims)
 
 (* ------------------------------------------------------------------ *)
@@ -366,9 +367,11 @@ let abort_update ?(reason = "operator") t ~flow_id =
        supersedes them. *)
     List.iter
       (fun (node, _) ->
-        Netsim.controller_transmit t.net ~to_:node
-          (Wire.control_to_bytes
-             { (Wire.control_default Wire.Wdm) with flow_id; version_new = version }))
+        let bytes =
+          Wire.control_to_bytes
+            { (Wire.control_default Wire.Wdm) with flow_id; version_new = version }
+        in
+        Netsim.controller_transmit ?recycle:(Wire.recycle_thunk bytes) t.net ~to_:node bytes)
       (List.rev p.p_uims);
     flow.path <- p.p_old_path;
     true
@@ -682,7 +685,9 @@ let retrigger t (c : Wire.control) =
           ~attrs:[ Obs.Trace.flow c.flow_id; Obs.Trace.version c.version_new ];
       List.iter
         (fun (node, uim) ->
-          Netsim.controller_transmit t.net ~to_:node (Wire.control_to_bytes uim))
+          let bytes = Wire.control_to_bytes uim in
+          Netsim.controller_transmit ?recycle:(Wire.recycle_thunk bytes) t.net ~to_:node
+            bytes)
         (List.rev prepared.p_uims)
     end
   | Some _ | None -> ()
@@ -691,7 +696,7 @@ let retrigger t (c : Wire.control) =
    separate from [install_handler] so a sharded coordinator can parse the
    frame once, pick the owning shard, and dispatch to it directly. *)
 let handle t ~from bytes =
-  match Option.bind (Wire.packet_of_bytes bytes) Wire.control_of_packet with
+  match Wire.control_of_bytes bytes with
       | Some c when c.kind = Wire.Ufm ->
         let report =
           {

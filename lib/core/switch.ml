@@ -167,13 +167,15 @@ let notify_ctl t (msg : Wire.control) =
       (Wire.span_key_ufm ~flow_id:msg.flow_id ~version:msg.version_new ~node:t.node)
       id
   end;
-  Netsim.notify_controller t.net ~from:t.node (Wire.control_to_bytes msg)
+  let bytes = Wire.control_to_bytes msg in
+  Netsim.notify_controller ?recycle:(Wire.recycle_thunk bytes) t.net ~from:t.node bytes
 
 let rec send_upstream t msg ~port =
   if port = Wire.port_none then ()
   else begin
     trace_unm_send t msg;
-    Netsim.transmit t.net ~from:t.node ~port (Wire.control_to_bytes msg)
+    let bytes = Wire.control_to_bytes msg in
+    Netsim.transmit ?recycle:(Wire.recycle_thunk bytes) t.net ~from:t.node ~port bytes
   end
 
 and fire_commit t flow_id (pc : pending_commit) =

@@ -207,13 +207,222 @@ let data_of_packet pkt =
         d_ts = Header.get h "ts";
       }
 
-let control_to_bytes c = Packet.serialize (control_to_packet c)
-let data_to_bytes d = Packet.serialize (data_to_packet d)
-
 let packet_of_bytes bytes =
   match Parser.run parser bytes with
   | pkt -> Some pkt
   | exception Parser.Parse_error _ -> None
+
+(* ---- fast wire path --------------------------------------------------- *)
+
+(* Both wire formats are fully byte-aligned (every field width is a
+   multiple of 8), so a control frame is exactly 28 bytes (eth 6 + p4u
+   22) and a data frame 22 (eth 6 + data 16) at fixed offsets.  The fast
+   path encodes/decodes with direct byte stores against that layout —
+   the same image [Header.emit] produces — skipping the whole
+   Packet/Header machinery, and draws its buffers from a free-list pool
+   so a steady stream of control messages stops boxing one packet,
+   fifteen header copies and one fresh byte buffer per send.
+
+   The gate is off by default: the default (heap-kernel) path keeps the
+   reference codecs byte-for-byte, which is what every pinned chaos hash
+   and mc fingerprint was recorded against, and what the bench kernel
+   A/B uses as its baseline side.  [World.make] enables it together with
+   the calendar kernel. *)
+
+let control_bytes_len = 6 + Header.byte_size p4u_schema
+let data_bytes_len = 6 + Header.byte_size data_schema
+
+let fast_path = ref false
+
+let set_fast_path enabled =
+  fast_path := enabled;
+  Header.set_wire_fast enabled
+
+let fast_path_enabled () = !fast_path
+
+(* Free-list pool of wire frames, one stack per frame size.  [release]
+   is only sound once the last delivery of the buffer has completed —
+   [Netsim]'s per-send reference count decides when (see the [?recycle]
+   arguments there).  The pool is capped so a burst cannot pin an
+   unbounded byte arena. *)
+
+type pool = { mutable store : Bytes.t array; mutable n : int }
+
+let pool_cap = 4096
+let control_pool = { store = [||]; n = 0 }
+let data_pool = { store = [||]; n = 0 }
+
+let pool_take pool len =
+  if pool.n = 0 then Bytes.create len
+  else begin
+    pool.n <- pool.n - 1;
+    pool.store.(pool.n)
+  end
+
+let pool_put pool b =
+  if pool.n < pool_cap then begin
+    if pool.n = Array.length pool.store then begin
+      let store = Array.make (max 64 (2 * Array.length pool.store)) Bytes.empty in
+      Array.blit pool.store 0 store 0 pool.n;
+      pool.store <- store
+    end;
+    pool.store.(pool.n) <- b;
+    pool.n <- pool.n + 1
+  end
+
+let release_frame b =
+  if !fast_path then begin
+    let len = Bytes.length b in
+    if len = control_bytes_len then pool_put control_pool b
+    else if len = data_bytes_len then pool_put data_pool b
+  end
+
+let recycle_thunk b =
+  if !fast_path then Some (fun () -> release_frame b) else None
+
+let pooled_frames () = control_pool.n + data_pool.n
+
+(* Direct MSB-first byte accessors.  Stores mask exactly like
+   [Header.set] ([v land (2^w - 1)]): the per-byte [land 0xff] keeps
+   only the low [w] bits across the [w/8] stores. *)
+
+let[@inline] put8 b pos v = Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff))
+
+let[@inline] put16 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr (v land 0xff))
+
+let[@inline] put32 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr (v land 0xff))
+
+let[@inline] get8 b pos = Char.code (Bytes.unsafe_get b pos)
+
+let[@inline] get16 b pos =
+  (Char.code (Bytes.unsafe_get b pos) lsl 8) lor Char.code (Bytes.unsafe_get b (pos + 1))
+
+let[@inline] get32 b pos =
+  (Char.code (Bytes.unsafe_get b pos) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (pos + 3))
+
+(* Fixed byte offsets (eth: dst@0 src@2 etype@4; payload header at 6). *)
+
+let control_write b (c : control) =
+  put16 b 0 0;
+  put16 b 2 0;
+  put16 b 4 etype_control;
+  put8 b 6 (msg_kind_to_int c.kind);
+  put16 b 7 c.flow_id;
+  put16 b 9 c.version_new;
+  put16 b 11 c.version_old;
+  put16 b 13 c.dist_new;
+  put16 b 15 c.dist_old;
+  put8 b 17 (update_type_to_int c.update_type);
+  put8 b 18 c.layer;
+  put16 b 19 c.counter;
+  put16 b 21 c.flow_size;
+  put8 b 23 c.egress_port;
+  put8 b 24 c.notify_port;
+  put8 b 25 c.role;
+  put16 b 26 c.src_node
+
+let data_write b (d : data) =
+  put16 b 0 0;
+  put16 b 2 0;
+  put16 b 4 etype_data;
+  put16 b 6 d.d_flow_id;
+  put32 b 8 d.seq;
+  put8 b 12 d.ttl;
+  put8 b 13 d.origin;
+  put16 b 14 d.dst;
+  put16 b 16 d.tag;
+  put32 b 18 d.d_ts
+
+(* Reference codecs, always available: the bench kernel A/B and the
+   codec-equivalence qcheck call them by name. *)
+let control_to_bytes_boxed c = Packet.serialize (control_to_packet c)
+let data_to_bytes_boxed d = Packet.serialize (data_to_packet d)
+
+let control_to_bytes c =
+  if !fast_path then begin
+    let b = pool_take control_pool control_bytes_len in
+    control_write b c;
+    b
+  end
+  else control_to_bytes_boxed c
+
+let data_to_bytes d =
+  if !fast_path then begin
+    let b = pool_take data_pool data_bytes_len in
+    data_write b d;
+    b
+  end
+  else data_to_bytes_boxed d
+
+(* Direct decoders replicating Parser.run ∘ of_packet exactly: a frame
+   shorter than its format, a foreign etype, or an invalid msg_type /
+   update_type decodes to [None] on both paths. *)
+
+let control_decode bytes =
+  if Bytes.length bytes < control_bytes_len || get16 bytes 4 <> etype_control then None
+  else
+    match (msg_kind_of_int (get8 bytes 6), update_type_of_int (get8 bytes 17)) with
+    | Some kind, Some update_type ->
+      Some
+        {
+          kind;
+          flow_id = get16 bytes 7;
+          version_new = get16 bytes 9;
+          version_old = get16 bytes 11;
+          dist_new = get16 bytes 13;
+          dist_old = get16 bytes 15;
+          update_type;
+          layer = get8 bytes 18;
+          counter = get16 bytes 19;
+          flow_size = get16 bytes 21;
+          egress_port = get8 bytes 23;
+          notify_port = get8 bytes 24;
+          role = get8 bytes 25;
+          src_node = get16 bytes 26;
+        }
+    | _ -> None
+
+let data_decode bytes =
+  if Bytes.length bytes < data_bytes_len || get16 bytes 4 <> etype_data then None
+  else
+    Some
+      {
+        d_flow_id = get16 bytes 6;
+        seq = get32 bytes 8;
+        ttl = get8 bytes 12;
+        origin = get8 bytes 13;
+        dst = get16 bytes 14;
+        tag = get16 bytes 16;
+        d_ts = get32 bytes 18;
+      }
+
+let control_of_bytes bytes =
+  if !fast_path then control_decode bytes
+  else Option.bind (packet_of_bytes bytes) control_of_packet
+
+let data_of_bytes bytes =
+  if !fast_path then data_decode bytes
+  else Option.bind (packet_of_bytes bytes) data_of_packet
+
+(* Classifier for [Netsim.set_control_classifier]: the message kind of a
+   valid control frame without materializing the record.  Semantics
+   match the full-parse classifier (including the update_type validity
+   check) for any byte string. *)
+let control_kind_of_bytes bytes =
+  if Bytes.length bytes < control_bytes_len || get16 bytes 4 <> etype_control then None
+  else
+    match (msg_kind_of_int (get8 bytes 6), update_type_of_int (get8 bytes 17)) with
+    | Some kind, Some _ -> Some (msg_kind_to_int kind)
+    | _ -> None
 
 let pp_control fmt c =
   let kind_name = function

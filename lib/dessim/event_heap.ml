@@ -145,6 +145,19 @@ let push ?tag heap ~time payload =
   heap.len <- i + 1;
   sift_up_entry heap i ~time ~seq ~payload:(Obj.repr payload)
 
+(* Insert with a caller-supplied sequence number.  This exists for
+   [Calendar_queue]'s heap fallback, which must preserve the seqs it
+   already handed out so the (time, seq) delivery order survives the
+   migration.  [next_seq] is bumped past [seq] so a later plain [push]
+   cannot hand out a duplicate. *)
+let push_seq ?tag heap ~time ~seq payload =
+  (match tag with None -> () | Some t -> Hashtbl.replace heap.tag_table seq t);
+  if heap.next_seq <= seq then heap.next_seq <- seq + 1;
+  if heap.len = Array.length heap.times then grow heap;
+  let i = heap.len in
+  heap.len <- i + 1;
+  sift_up_entry heap i ~time ~seq ~payload:(Obj.repr payload)
+
 let pop heap =
   if heap.len = 0 then None
   else begin
@@ -171,6 +184,34 @@ let clear heap =
   Array.fill heap.payloads 0 heap.len dummy;
   Hashtbl.reset heap.tag_table;
   heap.len <- 0
+
+let capacity heap = Array.length heap.times
+
+(* [clear] (and steady-state pops) never shrink the backing arrays, so a
+   burst that grew the heap to hold 100k pending events keeps the 100k
+   slots live for the rest of the process.  [compact] releases the
+   excess: the arrays are re-sized to the smallest power-of-two capacity
+   (>= [initial_capacity]) that holds the current entries, preserving
+   heap order (a straight prefix copy).  Callers with a cycle structure
+   (the soak monitor) invoke it at quiesce points so a burst early in
+   the run cannot inflate later footprint readings. *)
+let compact heap =
+  let target =
+    let c = ref initial_capacity in
+    while !c < heap.len do c := 2 * !c done;
+    !c
+  in
+  if target < Array.length heap.times then begin
+    let times = Array.make target 0.0 in
+    let seqs = Array.make target 0 in
+    let payloads = Array.make target dummy in
+    Array.blit heap.times 0 times 0 heap.len;
+    Array.blit heap.seqs 0 seqs 0 heap.len;
+    Array.blit heap.payloads 0 payloads 0 heap.len;
+    heap.times <- times;
+    heap.seqs <- seqs;
+    heap.payloads <- payloads
+  end
 
 let fold heap ~init ~f =
   let acc = ref init in

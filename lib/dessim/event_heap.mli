@@ -26,6 +26,15 @@ val create : unit -> 'a t
 (** [push heap ~time event] inserts [event] to fire at [time]. *)
 val push : ?tag:tag -> 'a t -> time:float -> 'a -> unit
 
+(** [push_seq heap ~time ~seq event] inserts with a caller-supplied
+    sequence number instead of drawing the next one; the internal
+    counter is bumped past [seq].  This is the {!Calendar_queue} heap
+    fallback's migration hook — it preserves already-issued seqs so the
+    (time, seq) delivery order survives the switch.  Supplying a seq
+    that is still live in the heap is the caller's responsibility to
+    avoid. *)
+val push_seq : ?tag:tag -> 'a t -> time:float -> seq:int -> 'a -> unit
+
 (** [pop heap] removes and returns the earliest event, or [None] when the
     heap is empty. *)
 val pop : 'a t -> (float * 'a) option
@@ -37,8 +46,20 @@ val peek_time : 'a t -> float option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
-(** [clear heap] drops all pending events. *)
+(** [clear heap] drops all pending events.  The backing arrays keep
+    their grown capacity (see {!compact}). *)
 val clear : 'a t -> unit
+
+(** Current backing-array capacity in entries (grows geometrically,
+    never shrinks except through {!compact}). *)
+val capacity : 'a t -> int
+
+(** [compact heap] shrinks the backing arrays to the smallest
+    power-of-two capacity holding the current entries, releasing the
+    slack left behind by a burst.  Content and delivery order are
+    unchanged.  O(n); call at quiesce points (the soak monitor runs it
+    between cycles), not on hot paths. *)
+val compact : 'a t -> unit
 
 (** [fold heap ~init ~f] folds over every pending entry in unspecified
     (heap-internal) order. *)

@@ -11,9 +11,20 @@ type chooser = now:float -> candidate array -> int
 
 type stats = { st_events : int; st_wall_s : float; st_events_per_s : float }
 
+type kernel = Heap | Calendar
+
+(* The pluggable event queue.  A variant with per-operation dispatch
+   beats a first-class module of closures here: the match is a branch on
+   an immediate, monomorphic at every call site, where closure fields
+   would re-box the hot push/pop paths the flat layouts exist to
+   un-box. *)
+type queue =
+  | Q_heap of (unit -> unit) Event_heap.t
+  | Q_cal of (unit -> unit) Calendar_queue.t
+
 type t = {
   mutable clock : float;
-  heap : (unit -> unit) Event_heap.t;
+  queue : queue;
   random : Random.State.t;
   mutable chooser : chooser option;
   mutable chooser_window : float;
@@ -29,10 +40,13 @@ type t = {
   mutable on_tick : (now:float -> unit) option;
 }
 
-let create ?(seed = 0x5eed) () =
+let create ?(seed = 0x5eed) ?(kernel = Heap) () =
   {
     clock = 0.0;
-    heap = Event_heap.create ();
+    queue =
+      (match kernel with
+      | Heap -> Q_heap (Event_heap.create ())
+      | Calendar -> Q_cal (Calendar_queue.create ()));
     random = Random.State.make [| seed |];
     chooser = None;
     chooser_window = 0.0;
@@ -45,6 +59,45 @@ let create ?(seed = 0x5eed) () =
 
 let now t = t.clock
 let rng t = t.random
+let kernel t = match t.queue with Q_heap _ -> Heap | Q_cal _ -> Calendar
+
+(* Per-operation queue dispatch.  Both implementations share the
+   (time, seq) contract, so every caller below is implementation-blind. *)
+
+let[@inline] q_push ?tag t ~time f =
+  match t.queue with
+  | Q_heap h -> Event_heap.push ?tag h ~time f
+  | Q_cal c -> Calendar_queue.push ?tag c ~time f
+
+let[@inline] q_pop t =
+  match t.queue with
+  | Q_heap h -> Event_heap.pop h
+  | Q_cal c -> Calendar_queue.pop c
+
+let[@inline] q_peek_time t =
+  match t.queue with
+  | Q_heap h -> Event_heap.peek_time h
+  | Q_cal c -> Calendar_queue.peek_time c
+
+let[@inline] q_size t =
+  match t.queue with
+  | Q_heap h -> Event_heap.size h
+  | Q_cal c -> Calendar_queue.size c
+
+let q_fold t ~init ~f =
+  match t.queue with
+  | Q_heap h -> Event_heap.fold h ~init ~f
+  | Q_cal c -> Calendar_queue.fold c ~init ~f
+
+let q_remove_seq t seq =
+  match t.queue with
+  | Q_heap h -> Event_heap.remove_seq h seq
+  | Q_cal c -> Calendar_queue.remove_seq c seq
+
+let compact t =
+  match t.queue with
+  | Q_heap h -> Event_heap.compact h
+  | Q_cal c -> Calendar_queue.compact c
 
 let set_chooser ?(window = 0.0) t chooser =
   if not (Float.is_finite window) || window < 0.0 then
@@ -64,7 +117,7 @@ let tag ~kind ~node ~flow ~hash =
 let schedule_at ?tag t ~time f =
   if not (Float.is_finite time) then invalid_arg "Sim.schedule_at: non-finite time";
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
-  Event_heap.push ?tag t.heap ~time f
+  q_push ?tag t ~time f
 
 let schedule ?tag t ~delay f =
   if not (Float.is_finite delay) || delay < 0.0 then
@@ -88,8 +141,20 @@ let set_tick t ~every_ms cb =
   if not (Float.is_finite every_ms) || every_ms <= 0.0 then
     invalid_arg "Sim.set_tick: tick period must be positive";
   t.tick_every <- every_ms;
-  (* First boundary strictly after the current clock. *)
-  t.tick_next <- (Float.of_int (int_of_float (t.clock /. every_ms)) +. 1.0) *. every_ms;
+  (* First boundary strictly after the current clock.  The float
+     quotient is inexact in both directions (0.6 /. 0.3 = 1.999…, so the
+     naive floor+1 boundary lands exactly *at* the clock and fires an
+     extra tick; an overshooting quotient would skip one), so the floor
+     candidate is stepped until it is the first multiple strictly after
+     the clock. *)
+  let next = ref ((Float.floor (t.clock /. every_ms) +. 1.0) *. every_ms) in
+  while !next <= t.clock do
+    next := !next +. every_ms
+  done;
+  while !next -. every_ms > t.clock do
+    next := !next -. every_ms
+  done;
+  t.tick_next <- !next;
   t.on_tick <- Some cb
 
 let clear_tick t =
@@ -116,12 +181,12 @@ let dispatch t ~time f =
    forward: it jumps to the *chosen* event's nominal time if that is
    ahead, and stays put if the chosen event was nominally due earlier. *)
 let step_choose t chooser =
-  match Event_heap.peek_time t.heap with
+  match q_peek_time t with
   | None -> false
   | Some min_time ->
     let horizon = min_time +. t.chooser_window in
     let candidates =
-      Event_heap.fold t.heap ~init:[] ~f:(fun acc ~time ~seq ~tag ->
+      q_fold t ~init:[] ~f:(fun acc ~time ~seq ~tag ->
           if time <= horizon then { c_time = time; c_seq = seq; c_tag = tag } :: acc
           else acc)
     in
@@ -137,7 +202,7 @@ let step_choose t chooser =
       invalid_arg
         (Printf.sprintf "Sim.step: chooser picked %d of %d candidates" idx
            (Array.length candidates));
-    (match Event_heap.remove_seq t.heap candidates.(idx).c_seq with
+    (match q_remove_seq t candidates.(idx).c_seq with
      | None -> assert false (* the candidate was just enumerated *)
      | Some (time, _tag, f) ->
        dispatch t ~time:(Float.max t.clock time) f;
@@ -147,7 +212,7 @@ let step t =
   match t.chooser with
   | Some chooser -> step_choose t chooser
   | None -> (
-    match Event_heap.pop t.heap with
+    match q_pop t with
     | None -> false
     | Some (time, f) ->
       dispatch t ~time f;
@@ -155,7 +220,7 @@ let step t =
 
 let run ?until t =
   let horizon_reached () =
-    match (until, Event_heap.peek_time t.heap) with
+    match (until, q_peek_time t) with
     | Some horizon, Some next -> next > horizon
     | _, None -> true
     | None, Some _ -> false
@@ -167,6 +232,15 @@ let run ?until t =
   in
   let started = Wallclock.now_s () in
   let processed = loop 0 in
+  (* A bounded run covers the whole interval: the clock advances to the
+     horizon and the catch-up ticks between the last dispatched event
+     and the horizon fire, so fixed-width Timeseries windows reach the
+     horizon instead of silently stopping at the last event. *)
+  (match until with
+   | Some horizon when Float.is_finite horizon && horizon > t.clock ->
+     t.clock <- horizon;
+     if t.on_tick <> None then fire_ticks t
+   | _ -> ());
   t.wall_s <- t.wall_s +. Wallclock.elapsed_s ~since:started;
   processed
 
@@ -178,10 +252,10 @@ let reset_stats t =
   t.events <- 0;
   t.wall_s <- 0.0
 
-let pending t = Event_heap.size t.heap
+let pending t = q_size t
 
 let fold_pending t ~init ~f =
-  Event_heap.fold t.heap ~init ~f:(fun acc ~time ~seq:_ ~tag -> f acc ~time ~tag)
+  q_fold t ~init ~f:(fun acc ~time ~seq:_ ~tag -> f acc ~time ~tag)
 
 let exponential t ~mean =
   if mean <= 0.0 then invalid_arg "Sim.exponential: mean must be positive";

@@ -38,8 +38,20 @@ type candidate = { c_time : float; c_seq : int; c_tag : tag option }
     next.  Out-of-range indices raise [Invalid_argument]. *)
 type chooser = now:float -> candidate array -> int
 
-(** [create ~seed ()] makes an empty simulation with its clock at [0.0]. *)
-val create : ?seed:int -> unit -> t
+(** Which event-queue implementation backs the kernel.  [Heap] is the
+    flat SoA binary heap ({!Event_heap}) — the default, and the path
+    every pinned hash and fingerprint is recorded against.  [Calendar]
+    is the O(1)-amortized calendar queue ({!Calendar_queue}); both
+    deliver in identical (time, seq) order, so the choice is purely a
+    cost model (selected via [Run_config] / [--kernel]). *)
+type kernel = Heap | Calendar
+
+(** [create ~seed ()] makes an empty simulation with its clock at [0.0].
+    [kernel] picks the event-queue implementation (default [Heap]). *)
+val create : ?seed:int -> ?kernel:kernel -> unit -> t
+
+(** The kernel this simulation was created with. *)
+val kernel : t -> kernel
 
 (** Current simulated time in milliseconds. *)
 val now : t -> float
@@ -71,9 +83,12 @@ val schedule : ?tag:tag -> t -> delay:float -> (unit -> unit) -> unit
     be in the simulated past. *)
 val schedule_at : ?tag:tag -> t -> time:float -> (unit -> unit) -> unit
 
-(** [run t] processes events until the heap is empty or the optional
+(** [run t] processes events until the queue is empty or the optional
     [until] horizon is passed (events scheduled later stay pending).
-    Returns the number of events processed. *)
+    Returns the number of events processed.  A bounded run finishes with
+    the clock advanced to [until] (when that is ahead of the last
+    event), firing the observability ticks in between, so fixed-width
+    {!set_tick} windows cover the whole bounded interval. *)
 val run : ?until:float -> t -> int
 
 (** [step t] processes the single earliest event (or, with a chooser
@@ -92,6 +107,12 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val pending : t -> int
+
+(** [compact t] shrinks the event queue's backing storage to fit its
+    current pending set (see {!Event_heap.compact} /
+    {!Calendar_queue.compact}).  Content and delivery order are
+    unchanged; run it at quiesce points, not on hot paths. *)
+val compact : t -> unit
 
 (** [set_tick t ~every_ms cb] installs an observability tick: [cb ~now]
     fires (from inside event dispatch, not off the heap) every time the

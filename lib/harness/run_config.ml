@@ -58,6 +58,7 @@ type t = {
   live_top : bool;
   intent_churn : bool;
   shards : int;
+  kernel : Dessim.Sim.kernel;
 }
 
 let default =
@@ -76,13 +77,15 @@ let default =
     live_top = false;
     intent_churn = false;
     shards = 1;
+    kernel = Dessim.Sim.Heap;
   }
 
 let make ?(seed = default.seed) ?(runs = default.runs)
     ?(iterations = default.iterations) ?(congestion = default.congestion)
     ?trace_sink ?fault_plan ?reorder_window_ms ?(recorder = default.recorder)
     ?incident_dir ?tick_ms ?series_out ?(live_top = default.live_top)
-    ?(intent_churn = default.intent_churn) ?(shards = default.shards) () =
+    ?(intent_churn = default.intent_churn) ?(shards = default.shards)
+    ?(kernel = default.kernel) () =
   {
     seed;
     runs;
@@ -98,6 +101,7 @@ let make ?(seed = default.seed) ?(runs = default.runs)
     live_top;
     intent_churn;
     shards;
+    kernel;
   }
 
 let with_seed seed cfg = { cfg with seed }

@@ -175,7 +175,10 @@ let default_tick_ms = 500.0
 
 let run ?(config = default_config) (cfg : Run_config.t) topo =
   Observe.with_recorder cfg @@ fun _recorder ->
-  let w = World.make ~seed:cfg.Run_config.seed ~shards:cfg.Run_config.shards topo in
+  let w =
+    World.make ~seed:cfg.Run_config.seed ~kernel:cfg.Run_config.kernel
+      ~shards:cfg.Run_config.shards topo
+  in
   let sim = w.World.sim in
   let net = w.World.net in
   let g = topo.Topologies.graph in
@@ -451,7 +454,12 @@ let run ?(config = default_config) (cfg : Run_config.t) topo =
             cy_flows = List.length (Control.Plane.flows w.World.plane);
             cy_in_flight = Traffic.in_flight tr;
             cy_violations = List.length (Invariants.violations monitor) }
-          :: !cycles)
+          :: !cycles;
+        (* The cycle boundary is a quiesce point: return the event queue's
+           backing storage grown by this cycle's probe burst, so the next
+           cycle's leak reading measures pending events, not the
+           high-water mark of the busiest burst so far. *)
+        Sim.compact sim)
   in
   for k = 0 to sk.sk_cycles - 1 do
     start_cycle k

@@ -249,7 +249,10 @@ let inject t flow_id (st : flow_state) =
       d_ts = int_of_float ((now *. 1000.0) +. 0.5); (* sim µs on the wire *)
     }
   in
-  Netsim.host_inject t.world.World.net ~node:st.fl_src (P4update.Wire.data_to_bytes d)
+  let bytes = P4update.Wire.data_to_bytes d in
+  Netsim.host_inject
+    ?recycle:(P4update.Wire.recycle_thunk bytes)
+    t.world.World.net ~node:st.fl_src bytes
 
 let gap t =
   let sim = t.world.World.sim in

@@ -2,7 +2,20 @@ type schema = {
   name : string;
   field_list : (string * int) list;
   total_bits : int;
+  (* Per-field (byte offset within the header, byte width) when every
+     field is byte-aligned; [None] for schemas with sub-byte fields.
+     Precomputed at [define] time for the fast wire path below. *)
+  byte_layout : (int * int) array option;
 }
+
+(* The byte-aligned fast path for [emit]/[extract] is gated off by
+   default so the bit-by-bit reference path stays the measured baseline;
+   the wire layer ([P4update.Wire.set_fast_path]) switches it on
+   together with its own template codecs. *)
+let wire_fast = ref false
+
+let set_wire_fast enabled = wire_fast := enabled
+let wire_fast_enabled () = !wire_fast
 
 type inst = {
   schema : schema;
@@ -25,7 +38,21 @@ let define ~name field_list =
   if total_bits mod 8 <> 0 then
     invalid_arg
       (Printf.sprintf "Header.define(%s): total width %d bits not byte aligned" name total_bits);
-  { name; field_list; total_bits }
+  let byte_layout =
+    if List.for_all (fun (_, w) -> w mod 8 = 0) field_list then begin
+      let off = ref 0 in
+      Some
+        (Array.of_list
+           (List.map
+              (fun (_, w) ->
+                let o = !off in
+                off := o + (w / 8);
+                (o, w / 8))
+              field_list))
+    end
+    else None
+  in
+  { name; field_list; total_bits; byte_layout }
 
 let schema_name s = s.name
 let byte_size s = s.total_bits / 8
@@ -89,17 +116,40 @@ let read_bits buf ~bit_offset ~width =
   done;
   !v
 
+(* Byte-aligned MSB-first stores/loads — same wire image as the bit
+   loops, one byte per iteration instead of one bit. *)
+
+let[@inline] write_bytes_be buf ~pos ~nbytes v =
+  for b = 0 to nbytes - 1 do
+    Bytes.unsafe_set buf (pos + b)
+      (Char.unsafe_chr ((v lsr (8 * (nbytes - 1 - b))) land 0xff))
+  done
+
+let[@inline] read_bytes_be buf ~pos ~nbytes =
+  let v = ref 0 in
+  for b = 0 to nbytes - 1 do
+    v := (!v lsl 8) lor Char.code (Bytes.unsafe_get buf (pos + b))
+  done;
+  !v
+
 let emit inst buf offset =
   if not inst.valid then offset
   else begin
     if Bytes.length buf < offset + byte_size inst.schema then
       invalid_arg (Printf.sprintf "Header.emit(%s): buffer too short" inst.schema.name);
-    let bit = ref (offset * 8) in
-    List.iteri
-      (fun i (_, w) ->
-        write_bits buf ~bit_offset:!bit ~width:w inst.values.(i);
-        bit := !bit + w)
-      inst.schema.field_list;
+    (match inst.schema.byte_layout with
+    | Some layout when !wire_fast ->
+      Array.iteri
+        (fun i (o, nbytes) ->
+          write_bytes_be buf ~pos:(offset + o) ~nbytes inst.values.(i))
+        layout
+    | _ ->
+      let bit = ref (offset * 8) in
+      List.iteri
+        (fun i (_, w) ->
+          write_bits buf ~bit_offset:!bit ~width:w inst.values.(i);
+          bit := !bit + w)
+        inst.schema.field_list);
     offset + byte_size inst.schema
   end
 
@@ -107,12 +157,19 @@ let extract schema buf offset =
   if Bytes.length buf < offset + byte_size schema then
     invalid_arg (Printf.sprintf "Header.extract(%s): buffer too short" schema.name);
   let inst = make schema in
-  let bit = ref (offset * 8) in
-  List.iteri
-    (fun i (_, w) ->
-      inst.values.(i) <- read_bits buf ~bit_offset:!bit ~width:w;
-      bit := !bit + w)
-    schema.field_list;
+  (match schema.byte_layout with
+  | Some layout when !wire_fast ->
+    Array.iteri
+      (fun i (o, nbytes) ->
+        inst.values.(i) <- read_bytes_be buf ~pos:(offset + o) ~nbytes)
+      layout
+  | _ ->
+    let bit = ref (offset * 8) in
+    List.iteri
+      (fun i (_, w) ->
+        inst.values.(i) <- read_bits buf ~bit_offset:!bit ~width:w;
+        bit := !bit + w)
+      schema.field_list);
   (inst, offset + byte_size schema)
 
 let pp fmt inst =

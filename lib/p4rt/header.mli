@@ -15,6 +15,16 @@ type inst
     bit width not divisible by 8. *)
 val define : name:string -> (string * int) list -> schema
 
+(** Gate for the byte-aligned fast path in {!emit}/{!extract}: when
+    enabled, schemas whose every field width is a multiple of 8 (all the
+    P4Update wire schemas) serialize with per-byte MSB-first stores
+    instead of per-bit writes — the wire image is identical.  Off by
+    default; [P4update.Wire.set_fast_path] flips it together with its
+    template codecs so the reference path stays the measured baseline. *)
+val set_wire_fast : bool -> unit
+
+val wire_fast_enabled : unit -> bool
+
 val schema_name : schema -> string
 val byte_size : schema -> int
 val fields : schema -> (string * int) list

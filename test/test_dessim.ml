@@ -2,6 +2,7 @@
 
 module Sim = Dessim.Sim
 module Event_heap = Dessim.Event_heap
+module Cal = Dessim.Calendar_queue
 
 let test_heap_ordering () =
   let heap = Event_heap.create () in
@@ -23,6 +24,159 @@ let test_heap_fifo_ties () =
   done;
   let order = List.init 10 (fun _ -> match Event_heap.pop heap with Some (_, i) -> i | None -> -1) in
   Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
+
+let test_heap_remove_interior_sift_up () =
+  (* Build the array shape [0; 10; 1; 11; 12; 2; 3] (push order keeps it
+     exactly that).  Removing seq 3 (time 11) backfills its interior slot
+     with the array tail (time 3), which is smaller than the slot's
+     parent (10): the hole must sift *up*, not down, or the heap
+     invariant silently breaks and the drain comes out misordered. *)
+  let h = Event_heap.create () in
+  List.iteri (fun i t -> Event_heap.push h ~time:t i) [ 0.0; 10.0; 1.0; 11.0; 12.0; 2.0; 3.0 ];
+  (match Event_heap.remove_seq h 3 with
+   | Some (t, None, 3) -> Alcotest.(check (float 0.0)) "victim time" 11.0 t
+   | _ -> Alcotest.fail "remove_seq 3 returned the wrong entry");
+  let drained = List.init 6 (fun _ -> Option.get (Event_heap.pop h)) in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "order intact after interior removal"
+    [ (0.0, 0); (1.0, 2); (2.0, 5); (3.0, 6); (10.0, 1); (12.0, 4) ]
+    drained
+
+let test_heap_compact_capacity () =
+  let h = Event_heap.create () in
+  for i = 1 to 5000 do
+    Event_heap.push h ~time:(float_of_int i) i
+  done;
+  for _ = 1 to 4900 do
+    ignore (Event_heap.pop h)
+  done;
+  let grown = Event_heap.capacity h in
+  Event_heap.compact h;
+  Alcotest.(check bool) "capacity released" true (Event_heap.capacity h < grown);
+  Alcotest.(check int) "entries kept" 100 (Event_heap.size h);
+  let rec drain last n =
+    match Event_heap.pop h with
+    | None -> n
+    | Some (t, _) ->
+      Alcotest.(check bool) "nondecreasing after compact" true (t >= last);
+      drain t (n + 1)
+  in
+  Alcotest.(check int) "all drained" 100 (drain neg_infinity 0)
+
+let test_compact_burst_order_independent () =
+  (* The soak monitor compacts at each cycle boundary so its leak
+     readings measure pending events, not the high-water mark of the
+     busiest burst: after compact, two heaps holding the same pending
+     set must report the same capacity no matter how large a burst each
+     survived. *)
+  let residual h =
+    Event_heap.compact h;
+    Event_heap.capacity h
+  in
+  let spike = Event_heap.create () in
+  for i = 1 to 10_000 do
+    Event_heap.push spike ~time:(float_of_int i) ()
+  done;
+  for _ = 1 to 9_900 do
+    ignore (Event_heap.pop spike)
+  done;
+  let calm = Event_heap.create () in
+  for i = 1 to 100 do
+    Event_heap.push calm ~time:(float_of_int i) ()
+  done;
+  Alcotest.(check int) "same residual capacity" (residual calm) (residual spike)
+
+(* --- calendar queue --------------------------------------------------- *)
+
+let test_calendar_ordering () =
+  let q = Cal.create () in
+  Cal.push q ~time:3.0 "c";
+  Cal.push q ~time:1.0 "a";
+  Cal.push q ~time:2.0 "b";
+  let pop () = match Cal.pop q with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Cal.is_empty q)
+
+let test_calendar_fifo_ties () =
+  let q = Cal.create () in
+  for i = 0 to 9 do
+    Cal.push q ~time:5.0 i
+  done;
+  let order = List.init 10 (fun _ -> match Cal.pop q with Some (_, i) -> i | None -> -1) in
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
+
+let test_calendar_spread_retune () =
+  (* An LCG-spread arrival pattern forces several width re-tunes as the
+     queue grows; order stays strict and the heap fallback never fires. *)
+  let q = Cal.create () in
+  let lcg = ref 1 in
+  for i = 1 to 5000 do
+    lcg := (!lcg * 1103515245 + 12345) land 0x3FFFFFFF;
+    Cal.push q ~time:(float_of_int (!lcg land 0xFFFF) /. 16.0) i
+  done;
+  Alcotest.(check bool) "no fallback on spread arrivals" false (Cal.fallback_active q);
+  let rec drain last n =
+    match Cal.pop q with
+    | None -> n
+    | Some (t, _) ->
+      Alcotest.(check bool) "nondecreasing" true (t >= last);
+      drain t (n + 1)
+  in
+  Alcotest.(check int) "all drained" 5000 (drain neg_infinity 0)
+
+let test_calendar_same_instant_fallback () =
+  (* A zero-span pending set is a shape a calendar cannot spread: the
+     re-tune must migrate onto the private heap, preserving seqs so the
+     FIFO tie order survives the switch. *)
+  let q = Cal.create () in
+  for i = 0 to 999 do
+    Cal.push q ~time:7.5 i
+  done;
+  Alcotest.(check bool) "fallback engaged" true (Cal.fallback_active q);
+  let order = List.init 1000 (fun _ -> match Cal.pop q with Some (_, i) -> i | None -> -1) in
+  Alcotest.(check (list int)) "FIFO preserved across migration" (List.init 1000 Fun.id) order
+
+let test_calendar_remove_and_compact () =
+  (* Drive a calendar and a flat heap through identical pushes, remove
+     the same seq from both, compact the calendar (observably a no-op)
+     and compare the full drain. *)
+  let q = Cal.create () and h = Event_heap.create () in
+  for i = 0 to 99 do
+    let time = float_of_int (i mod 10) in
+    Cal.push q ~time i;
+    Event_heap.push h ~time i
+  done;
+  let a = Cal.remove_seq q 55 and b = Event_heap.remove_seq h 55 in
+  Alcotest.(check bool) "same removal result" true (a = b);
+  Alcotest.(check bool) "victim found" true (a <> None);
+  Cal.compact q;
+  Alcotest.(check int) "size after remove+compact" 99 (Cal.size q);
+  let rec drain () =
+    match (Cal.pop q, Event_heap.pop h) with
+    | None, None -> ()
+    | Some (t1, p1), Some (t2, p2) ->
+      Alcotest.(check (pair (float 0.0) int)) "same entry" (t2, p2) (t1, p1);
+      drain ()
+    | _ -> Alcotest.fail "queues drained different lengths"
+  in
+  drain ()
+
+let test_sim_calendar_kernel () =
+  let sim = Sim.create ~kernel:Sim.Calendar () in
+  Alcotest.(check bool) "kernel recorded" true (Sim.kernel sim = Sim.Calendar);
+  let trace = ref [] in
+  Sim.schedule sim ~delay:10.0 (fun () -> trace := ("b", Sim.now sim) :: !trace);
+  Sim.schedule sim ~delay:5.0 (fun () ->
+      Sim.compact sim (* quiesce-point shrink mid-run is transparent *);
+      trace := ("a", Sim.now sim) :: !trace);
+  let events = Sim.run sim in
+  Alcotest.(check int) "two events" 2 events;
+  Alcotest.(check (list (pair string (float 0.001)))) "ordered with timestamps"
+    [ ("a", 5.0); ("b", 10.0) ]
+    (List.rev !trace)
 
 let test_clock_advances () =
   let sim = Sim.create () in
@@ -58,6 +212,57 @@ let test_run_until_horizon () =
   let _ = Sim.run ~until:2.5 sim in
   Alcotest.(check (list (float 0.001))) "only before horizon" [ 1.0; 2.0 ] (List.rev !fired);
   Alcotest.(check int) "rest pending" 2 (Sim.pending sim)
+
+let test_set_tick_boundary () =
+  (* Adversarial (clock, period) pairs where the float quotient is
+     inexact in either direction: installing a tick with the clock
+     sitting exactly on (or a hair off) a period multiple must put the
+     first boundary strictly *after* the clock — no phantom tick at the
+     install instant (the historical off-by-one: 0.6 /. 0.3 floors to 1,
+     landing the "next" boundary exactly at the clock), no skipped
+     period either way, and period-spaced ticks thereafter.  Over a
+     10.5-period stretch that is 10 ticks, or 11 when the clock sits a
+     hair below a grid multiple. *)
+  List.iter
+    (fun (start, period) ->
+      let sim = Sim.create () in
+      let ticks = ref [] in
+      Sim.schedule sim ~delay:start (fun () ->
+          Sim.set_tick sim ~every_ms:period (fun ~now -> ticks := now :: !ticks));
+      Sim.schedule sim ~delay:(start +. (10.5 *. period)) ignore;
+      ignore (Sim.run sim);
+      let ticks = List.rev !ticks in
+      let label fmt =
+        Printf.sprintf ("%s for start=%.17g period=%g" ^^ "") fmt start period
+      in
+      let n = List.length ticks in
+      Alcotest.(check bool) (label "10 or 11 ticks") true (n = 10 || n = 11);
+      Alcotest.(check bool) (label "no tick at or before install") true
+        (List.for_all (fun at -> at > start) ticks);
+      Alcotest.(check bool) (label "first tick within one period") true
+        (List.hd ticks <= start +. period +. 1e-9);
+      let rec spaced = function
+        | a :: (b :: _ as rest) ->
+          Float.abs (b -. a -. period) < 1e-9 && spaced rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (label "ticks period-spaced") true (spaced ticks))
+    [ (0.6, 0.3); (0.1 +. 0.2, 0.1); (0.7, 0.1); (1.2, 0.4); (0.9, 0.3); (2.4, 0.3) ]
+
+let test_run_until_fires_final_ticks () =
+  (* A bounded run must cover the whole interval: the clock lands on the
+     horizon and the catch-up ticks between the last event and the
+     horizon fire, so fixed-width windows do not silently stop at the
+     last event. *)
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  Sim.set_tick sim ~every_ms:0.25 (fun ~now -> ticks := now :: !ticks);
+  Sim.schedule sim ~delay:0.2 ignore;
+  ignore (Sim.run ~until:1.0 sim);
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 1.0 (Sim.now sim);
+  Alcotest.(check (list (float 1e-9))) "ticks cover the bounded interval"
+    [ 0.25; 0.5; 0.75; 1.0 ]
+    (List.rev !ticks)
 
 let test_negative_delay_rejected () =
   let sim = Sim.create () in
@@ -108,6 +313,20 @@ let suite =
   [
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     Alcotest.test_case "heap breaks ties FIFO" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap interior removal sifts up" `Quick test_heap_remove_interior_sift_up;
+    Alcotest.test_case "heap compact releases burst capacity" `Quick test_heap_compact_capacity;
+    Alcotest.test_case "compact is burst-order independent" `Quick
+      test_compact_burst_order_independent;
+    Alcotest.test_case "calendar ordering" `Quick test_calendar_ordering;
+    Alcotest.test_case "calendar breaks ties FIFO" `Quick test_calendar_fifo_ties;
+    Alcotest.test_case "calendar re-tunes under spread arrivals" `Quick
+      test_calendar_spread_retune;
+    Alcotest.test_case "calendar same-instant fallback" `Quick
+      test_calendar_same_instant_fallback;
+    Alcotest.test_case "calendar remove_seq + compact" `Quick test_calendar_remove_and_compact;
+    Alcotest.test_case "sim runs on the calendar kernel" `Quick test_sim_calendar_kernel;
+    Alcotest.test_case "set_tick boundary is exclusive" `Quick test_set_tick_boundary;
+    Alcotest.test_case "bounded run fires final ticks" `Quick test_run_until_fires_final_ticks;
     Alcotest.test_case "clock advances with events" `Quick test_clock_advances;
     Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
     Alcotest.test_case "run with horizon" `Quick test_run_until_horizon;

@@ -1,10 +1,14 @@
 (* Scale-engine and event-kernel tests.
 
    - Differential qcheck properties: the flat structure-of-arrays
-     [Event_heap] against the seed's boxed heap, kept verbatim as
-     [Event_heap_ref]: same pop order on random schedules (including
-     exact same-instant ties), same [fold] candidate sets, same
-     [remove_seq] behavior.
+     [Event_heap] and the [Calendar_queue] kernel, each against the
+     seed's boxed heap, kept verbatim as [Event_heap_ref]: same pop
+     order on random schedules (including exact same-instant ties),
+     same [fold] candidate sets, same [remove_seq] behavior, with
+     mid-schedule [compact] observably transparent.
+   - Wire codec equivalence: the fast (pooled, direct-store) control and
+     data codecs emit byte-identical frames to the boxed Packet path and
+     return identical decode verdicts on arbitrary byte strings.
    - Determinism pins: the chaos delivery hashes, the mc final-state
      fingerprints on the default schedule and a trace JSONL digest are
      pinned to literals, so any change to event ordering — however
@@ -16,8 +20,27 @@
 
 module Heap = Dessim.Event_heap
 module Heap_ref = Dessim.Event_heap_ref
+module Cal = Dessim.Calendar_queue
+module W = P4update.Wire
 
-(* --- differential heap properties ---------------------------------- *)
+(* --- differential queue properties ---------------------------------- *)
+
+(* Both kernel-facing queues expose the same surface; the differential
+   oracle below runs each against the seed's boxed heap. *)
+module type QUEUE = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : ?tag:Heap.tag -> 'a t -> time:float -> 'a -> unit
+  val pop : 'a t -> (float * 'a) option
+  val size : 'a t -> int
+  val compact : 'a t -> unit
+
+  val fold :
+    'a t -> init:'acc -> f:('acc -> time:float -> seq:int -> tag:Heap.tag option -> 'acc) -> 'acc
+
+  val remove_seq : 'a t -> int -> (float * Heap.tag option * 'a) option
+end
 
 (* A schedule mixing pushes (with deliberately colliding times drawn
    from a small grid), pops and occasional tag attachments. *)
@@ -30,14 +53,20 @@ let tag_of_int i =
   { Heap.tag_kind = "k" ^ string_of_int (i mod 3); tag_node = i; tag_flow = i * 7;
     tag_hash = i * 31 }
 
-(* Drive both heaps through the same schedule; compare every observable. *)
-let run_schedule ops =
-  let h = Heap.create () and r = Heap_ref.create () in
+(* Drive the candidate queue and the boxed oracle through the same
+   schedule; compare every observable.  Every 64th op compacts the
+   candidate (the oracle is untouched): compaction must be observably
+   transparent. *)
+let run_schedule_against (module Q : QUEUE) ops =
+  let h = Q.create () and r = Heap_ref.create () in
   let payload = ref 0 in
+  let opno = ref 0 in
   let ok = ref true in
   let check b = if not b then ok := false in
   List.iter
     (fun (op, (t, tagged)) ->
+      incr opno;
+      if !opno land 63 = 0 then Q.compact h;
       match op with
       | 0 | 1 ->
         (* push; time grid of 16 values forces same-instant ties *)
@@ -45,27 +74,27 @@ let run_schedule ops =
         let p = !payload in
         incr payload;
         let tag = if tagged = 0 then Some (tag_of_int p) else None in
-        Heap.push ?tag h ~time p;
+        Q.push ?tag h ~time p;
         Heap_ref.push ?tag r ~time p
       | _ -> (
-        match (Heap.pop h, Heap_ref.pop r) with
+        match (Q.pop h, Heap_ref.pop r) with
         | None, None -> ()
         | Some (t1, p1), Some (t2, p2) -> check (t1 = t2 && p1 = p2)
         | _ -> check false))
     ops;
   (* same sizes, same candidate sets under fold, same drain order *)
-  check (Heap.size h = Heap_ref.size r);
+  check (Q.size h = Heap_ref.size r);
   let entry ~time ~seq ~tag = (seq, time, tag) in
   let flat_set =
     List.sort compare
-      (Heap.fold h ~init:[] ~f:(fun acc ~time ~seq ~tag -> entry ~time ~seq ~tag :: acc))
+      (Q.fold h ~init:[] ~f:(fun acc ~time ~seq ~tag -> entry ~time ~seq ~tag :: acc))
   and ref_set =
     List.sort compare
       (Heap_ref.fold r ~init:[] ~f:(fun acc ~time ~seq ~tag -> entry ~time ~seq ~tag :: acc))
   in
   check (flat_set = ref_set);
   let rec drain () =
-    match (Heap.pop h, Heap_ref.pop r) with
+    match (Q.pop h, Heap_ref.pop r) with
     | None, None -> ()
     | Some (t1, p1), Some (t2, p2) ->
       check (t1 = t2 && p1 = p2);
@@ -77,42 +106,126 @@ let run_schedule ops =
 
 let prop_same_pop_order =
   QCheck.Test.make ~name:"flat heap = boxed heap on random schedules" ~count:300 op_gen
-    run_schedule
+    (run_schedule_against (module Heap))
+
+let prop_calendar_pop_order =
+  QCheck.Test.make ~name:"calendar queue = boxed heap on random schedules" ~count:300 op_gen
+    (run_schedule_against (module Cal))
+
+let remove_seq_matches (module Q : QUEUE) (ops, victim) =
+  let h = Q.create () and r = Heap_ref.create () in
+  let payload = ref 0 in
+  List.iter
+    (fun (op, (t, tagged)) ->
+      if op <= 1 then begin
+        let time = float_of_int t /. 2.0 in
+        let p = !payload in
+        incr payload;
+        let tag = if tagged = 0 then Some (tag_of_int p) else None in
+        Q.push ?tag h ~time p;
+        Heap_ref.push ?tag r ~time p
+      end
+      else begin
+        ignore (Q.pop h);
+        ignore (Heap_ref.pop r)
+      end)
+    ops;
+  (* both queues allocate seqs identically (same push count), so the
+     same victim seq must exist in both or in neither *)
+  let a = Q.remove_seq h victim and b = Heap_ref.remove_seq r victim in
+  if a <> b then false
+  else begin
+    let rec drain () =
+      match (Q.pop h, Heap_ref.pop r) with
+      | None, None -> true
+      | Some (t1, p1), Some (t2, p2) -> t1 = t2 && p1 = p2 && drain ()
+      | _ -> false
+    in
+    drain ()
+  end
 
 let prop_remove_seq =
   QCheck.Test.make ~name:"flat heap remove_seq matches boxed heap" ~count:300
     QCheck.(pair op_gen (int_bound 1000))
-    (fun (ops, victim) ->
-      let h = Heap.create () and r = Heap_ref.create () in
-      let payload = ref 0 in
-      List.iter
-        (fun (op, (t, tagged)) ->
-          if op <= 1 then begin
-            let time = float_of_int t /. 2.0 in
-            let p = !payload in
-            incr payload;
-            let tag = if tagged = 0 then Some (tag_of_int p) else None in
-            Heap.push ?tag h ~time p;
-            Heap_ref.push ?tag r ~time p
-          end
-          else begin
-            ignore (Heap.pop h);
-            ignore (Heap_ref.pop r)
-          end)
-        ops;
-      (* both heaps allocate seqs identically (same push count), so the
-         same victim seq must exist in both or in neither *)
-      let a = Heap.remove_seq h victim and b = Heap_ref.remove_seq r victim in
-      if a <> b then false
-      else begin
-        let rec drain () =
-          match (Heap.pop h, Heap_ref.pop r) with
-          | None, None -> true
-          | Some (t1, p1), Some (t2, p2) -> t1 = t2 && p1 = p2 && drain ()
-          | _ -> false
-        in
-        drain ()
-      end)
+    (remove_seq_matches (module Heap))
+
+let prop_calendar_remove_seq =
+  QCheck.Test.make ~name:"calendar remove_seq matches boxed heap" ~count:300
+    QCheck.(pair op_gen (int_bound 1000))
+    (remove_seq_matches (module Cal))
+
+(* --- wire codec equivalence ------------------------------------------ *)
+
+(* Random well-formed records from an LCG seed (field bounds match the
+   schema widths, all 8/16/32-bit). *)
+let field_drawer seed =
+  let s = ref seed in
+  fun m ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod m
+
+let control_of_seed seed =
+  let nxt = field_drawer seed in
+  let kinds = [| W.Frm; W.Uim; W.Unm; W.Ufm; W.Cln; W.Wdm |] in
+  { W.kind = kinds.(nxt 6); flow_id = nxt 0x10000; version_new = nxt 0x10000;
+    version_old = nxt 0x10000; dist_new = nxt 0x10000; dist_old = nxt 0x10000;
+    update_type = (if nxt 2 = 0 then W.Sl else W.Dl); layer = nxt 0x100;
+    counter = nxt 0x10000; flow_size = nxt 0x10000; egress_port = nxt 0x100;
+    notify_port = nxt 0x100; role = nxt 0x100; src_node = nxt 0x10000 }
+
+let data_of_seed seed =
+  let nxt = field_drawer seed in
+  { W.d_flow_id = nxt 0x10000; seq = nxt 0x40000000; ttl = nxt 0x100;
+    origin = nxt 0x100; dst = nxt 0x10000; tag = nxt 0x10000; d_ts = nxt 0x40000000 }
+
+let prop_control_codec_equiv =
+  QCheck.Test.make ~name:"fast control codec = boxed codec" ~count:500
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let c = control_of_seed seed in
+      let boxed = W.control_to_bytes_boxed c in
+      W.set_fast_path true;
+      let fast = W.control_to_bytes c in
+      let same_bytes = Bytes.equal boxed fast in
+      let dec_fast = W.control_of_bytes fast in
+      let kind_fast = W.control_kind_of_bytes fast in
+      W.release_frame fast;
+      W.set_fast_path false;
+      let dec_ref = W.control_of_bytes boxed in
+      same_bytes && dec_fast = Some c && dec_ref = Some c
+      && kind_fast = Some (W.msg_kind_to_int c.W.kind))
+
+let prop_data_codec_equiv =
+  QCheck.Test.make ~name:"fast data codec = boxed codec" ~count:500
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let d = data_of_seed seed in
+      let boxed = W.data_to_bytes_boxed d in
+      W.set_fast_path true;
+      let fast = W.data_to_bytes d in
+      let same_bytes = Bytes.equal boxed fast in
+      let dec_fast = W.data_of_bytes fast in
+      W.release_frame fast;
+      W.set_fast_path false;
+      let dec_ref = W.data_of_bytes boxed in
+      same_bytes && dec_fast = Some d && dec_ref = Some d)
+
+let prop_decode_equiv_random_bytes =
+  (* On arbitrary byte strings (short frames, foreign etypes, invalid
+     enum fields) the fast decoders must return the exact verdict of the
+     parse-graph path. *)
+  QCheck.Test.make ~name:"fast decode verdicts = parser verdicts on random frames"
+    ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 40) Gen.char)
+    (fun s ->
+      let b = Bytes.of_string s in
+      W.set_fast_path true;
+      let fc = W.control_of_bytes b and fd = W.data_of_bytes b in
+      let fk = W.control_kind_of_bytes b in
+      W.set_fast_path false;
+      let rc = W.control_of_bytes b and rd = W.data_of_bytes b in
+      let rk = W.control_kind_of_bytes b in
+      fc = rc && fd = rd && fk = rk)
 
 (* --- determinism pins ----------------------------------------------- *)
 
@@ -213,6 +326,28 @@ let test_scale_deterministic () =
     b.Harness.Scale.sr_sim_ms;
   Alcotest.(check (float 0.0)) "p99" a.Harness.Scale.sr_p99_ms b.Harness.Scale.sr_p99_ms
 
+let test_scale_kernel_identity () =
+  (* The calendar kernel + pooled wire path must produce the exact run
+     the heap kernel does — same event count, same completions, same
+     latency quantiles — on the same seed.  Only the cost model may
+     differ. *)
+  let run kernel =
+    let cfg = Harness.Run_config.make ~seed:11 ~kernel () in
+    Harness.Scale.run ~workload:small_workload cfg (Topo.Topologies.attmpls ())
+  in
+  let h = run Dessim.Sim.Heap in
+  let c = run Dessim.Sim.Calendar in
+  P4update.Wire.set_fast_path false;
+  Alcotest.(check int) "completed" h.Harness.Scale.sr_updates_completed
+    c.Harness.Scale.sr_updates_completed;
+  Alcotest.(check int) "events" h.Harness.Scale.sr_events c.Harness.Scale.sr_events;
+  Alcotest.(check (float 0.0)) "sim time" h.Harness.Scale.sr_sim_ms c.Harness.Scale.sr_sim_ms;
+  Alcotest.(check (float 0.0)) "p50" h.Harness.Scale.sr_p50_ms c.Harness.Scale.sr_p50_ms;
+  Alcotest.(check (float 0.0)) "p99" h.Harness.Scale.sr_p99_ms c.Harness.Scale.sr_p99_ms;
+  Alcotest.(check int) "violations" (List.length h.Harness.Scale.sr_violations)
+    (List.length c.Harness.Scale.sr_violations);
+  Alcotest.(check int) "probes" h.Harness.Scale.sr_probes c.Harness.Scale.sr_probes
+
 (* --- Run_config glue ------------------------------------------------- *)
 
 let test_fault_plan_sync () =
@@ -237,12 +372,18 @@ let test_world_flows () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_same_pop_order;
+    QCheck_alcotest.to_alcotest prop_calendar_pop_order;
     QCheck_alcotest.to_alcotest prop_remove_seq;
+    QCheck_alcotest.to_alcotest prop_calendar_remove_seq;
+    QCheck_alcotest.to_alcotest prop_control_codec_equiv;
+    QCheck_alcotest.to_alcotest prop_data_codec_equiv;
+    QCheck_alcotest.to_alcotest prop_decode_equiv_random_bytes;
     Alcotest.test_case "chaos delivery hashes pinned" `Slow test_chaos_pins;
     Alcotest.test_case "mc fingerprints pinned" `Quick test_mc_pins;
     Alcotest.test_case "trace digest pinned" `Quick test_trace_digest;
     Alcotest.test_case "scale run completes clean" `Quick test_scale_runs;
     Alcotest.test_case "scale run is deterministic" `Quick test_scale_deterministic;
+    Alcotest.test_case "heap and calendar kernels agree" `Quick test_scale_kernel_identity;
     Alcotest.test_case "fault plan mirrors chaos defaults" `Quick test_fault_plan_sync;
     Alcotest.test_case "world builds with declared flows" `Quick test_world_flows;
   ]
